@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale control
+-------------
+Benches default to the paper's full settings (operationcount 100 000,
+3 independent runs).  Set ``REPRO_BENCH_FAST=1`` to run a reduced pass
+(20 000 operations, 1 run) while keeping every shape assertion intact.
+
+Artifacts
+---------
+Every figure bench writes its rendered table + ASCII plot to
+``results/<figure>.txt`` so the regenerated evaluation survives the
+pytest run.  Expensive sweeps are computed once per session and shared
+between the cost and time panels.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def is_fast() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def bench_fast() -> bool:
+    return is_fast()
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    return 1 if is_fast() else 3
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def figure7_results():
+    """Figure 7 sweep shared by the cost (7a) and time (7b) benches."""
+    from repro.analysis.experiments import figure7
+
+    return figure7(fast=is_fast())
+
+
+def write_artifact(results_dir: Path, name: str, result) -> Path:
+    path = results_dir / f"{name}.txt"
+    path.write_text(f"{result.title}\n\n{result.text}\n")
+    return path

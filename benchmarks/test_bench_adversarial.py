@@ -1,0 +1,88 @@
+"""Adversarial-instance benches: the paper's tightness examples at scale.
+
+Measures the approximation-ratio growth the lemmas predict:
+
+* Lemma 4.2 family — BALANCETREE pays Theta(log n) vs the left-to-right
+  optimum ``4n - 3``,
+* Lemma 4.5 family — SI matches OPT but sits log n above LOPT,
+* §4.3.4 family — LARGESTMATCH pays Theta(n) vs ``2^(n+1) - 3``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import format_table
+from repro.core import merge_with
+from repro.core.adversarial import (
+    bt_lower_bound_instance,
+    bt_lower_bound_optimal_cost,
+    disjoint_singletons,
+    lm_gap_instance,
+    lm_gap_optimal_cost,
+)
+from repro.core.bounds import lopt
+
+
+def test_bt_ratio_grows_logarithmically(benchmark, results_dir):
+    sizes = (16, 64, 256, 1024)
+
+    def measure():
+        rows = []
+        for n in sizes:
+            inst = bt_lower_bound_instance(n)
+            bt = merge_with("BT(I)", inst).replay(inst).simplified_cost
+            ratio = bt / bt_lower_bound_optimal_cost(n)
+            rows.append((n, bt, bt_lower_bound_optimal_cost(n), ratio))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    (results_dir / "adversarial_bt.txt").write_text(
+        format_table(["n", "BT cost", "optimal", "ratio"], rows, float_digits=2)
+        + "\n"
+    )
+    ratios = [ratio for *_, ratio in rows]
+    # strictly growing gap, scaling like log n / 4 at least
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    for (n, *_, ratio) in rows:
+        assert ratio >= math.log2(n) / 4
+
+
+def test_si_tight_against_lopt_but_optimal(benchmark):
+    sizes = (16, 64, 256)
+
+    def measure():
+        out = []
+        for n in sizes:
+            inst = disjoint_singletons(n)
+            cost = merge_with("SI", inst).replay(inst).simplified_cost
+            out.append((n, cost, lopt(inst)))
+        return out
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for n, cost, bound in rows:
+        # Lemma 4.5: cost = n (log2 n + 1) = log-factor above LOPT = n
+        assert cost == n * (math.log2(n) + 1)
+        assert cost / bound == math.log2(n) + 1
+
+
+def test_lm_ratio_grows_linearly(benchmark, results_dir):
+    sizes = (6, 9, 12, 15)
+
+    def measure():
+        rows = []
+        for n in sizes:
+            inst = lm_gap_instance(n)
+            lm = merge_with("LM", inst).replay(inst).simplified_cost
+            rows.append((n, lm, lm_gap_optimal_cost(n), lm / lm_gap_optimal_cost(n)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    (results_dir / "adversarial_lm.txt").write_text(
+        format_table(["n", "LM cost", "optimal", "ratio"], rows, float_digits=2)
+        + "\n"
+    )
+    ratios = [ratio for *_, ratio in rows]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    for (n, *_, ratio) in rows:
+        assert ratio >= (n - 1) / 4

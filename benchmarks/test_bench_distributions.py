@@ -1,0 +1,73 @@
+"""Distribution ablation: the paper's 'observations are similar' claim.
+
+§5.2 presents Figure 7 for the latest distribution only, stating "the
+observations are similar for zipfian and uniform and thus, excluded".
+This bench runs the mid-spectrum point (50 % updates) for all three
+distributions and asserts the similarity:
+
+* the strategy cost ordering is identical (heuristics < RANDOM),
+* BT(I) is the fastest and SO the slowest strategy everywhere,
+* power-law distributions (zipfian, latest) produce more sstable
+  overlap than uniform, hence cheaper compaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import is_fast
+
+from repro.analysis import format_table
+from repro.simulator import SimulationConfig, generate_sstables, run_strategy
+
+DISTRIBUTIONS = ("uniform", "zipfian", "latest")
+STRATEGIES = ("SI", "SO", "BT(I)", "BT(O)", "RANDOM")
+
+
+def test_all_distributions_show_same_picture(benchmark, results_dir):
+    def measure():
+        out = {}
+        for distribution in DISTRIBUTIONS:
+            config = SimulationConfig.figure7(
+                update_fraction=0.5, distribution=distribution, seed=21
+            )
+            if is_fast():
+                config = replace(config, operationcount=20_000)
+            tables = generate_sstables(config).tables
+            out[distribution] = {
+                label: run_strategy(tables, label, config) for label in STRATEGIES
+            }
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for distribution, per_strategy in results.items():
+        for label, result in per_strategy.items():
+            rows.append(
+                [
+                    distribution,
+                    label,
+                    result.cost_actual,
+                    round(result.total_simulated_seconds, 3),
+                ]
+            )
+    (results_dir / "ablation_distributions.txt").write_text(
+        format_table(["distribution", "strategy", "costactual", "sim s"], rows)
+        + "\n"
+    )
+
+    for distribution, per_strategy in results.items():
+        costs = {label: r.cost_actual for label, r in per_strategy.items()}
+        times = {label: r.total_simulated_seconds for label, r in per_strategy.items()}
+        # heuristics beat RANDOM under every distribution
+        for label in ("SI", "SO", "BT(I)", "BT(O)"):
+            assert costs[label] < costs["RANDOM"], (distribution, label)
+        # BT(I) fastest, SO slowest — same time ordering as Figure 7b
+        assert times["BT(I)"] == min(times.values()), distribution
+        assert times["SO"] == max(times.values()), distribution
+
+    # power-law key popularity => more overlap => cheaper compaction
+    si_costs = {d: results[d]["SI"].cost_actual for d in DISTRIBUTIONS}
+    assert si_costs["zipfian"] < si_costs["uniform"]
+    assert si_costs["latest"] < si_costs["uniform"]

@@ -1,0 +1,38 @@
+"""Figure 7b: compaction time vs update percentage (latest distribution).
+
+Regenerates the right panel of Figure 7: total compaction time
+(simulated disk time + measured strategy overhead) for the five §5.1
+strategies.  Asserted paper claims:
+
+* BT(I) finishes fastest everywhere (parallel level merges),
+* SO is slower than SI (cardinality-estimation overhead),
+* BT(O) amortizes the estimation overhead below SO's,
+* SO's strategy overhead grows as updates (and hence estimation work
+  per merge benefit) increase relative to SI's.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+
+def test_fig7b_time_vs_update_percentage(benchmark, figure7_results, results_dir):
+    def regenerate():
+        return figure7_results
+
+    _, fig7b = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_artifact(results_dir, "fig7b", fig7b)
+
+    points = {label: dict(values) for label, values in fig7b.series.items()}
+    update_levels = sorted(points["SI"])
+
+    for x in update_levels:
+        # BT(I) is the fastest strategy at every update percentage.
+        fastest = min(points[label][x] for label in points)
+        assert points["BT(I)"][x] == fastest
+
+        # SO pays the HLL estimation overhead on top of SI's I/O time.
+        assert points["SO"][x] > points["SI"][x]
+
+        # BT(O) amortizes estimation per level: cheaper than SO.
+        assert points["BT(O)"][x] < points["SO"][x]

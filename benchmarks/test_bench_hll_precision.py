@@ -1,0 +1,63 @@
+"""HLL-precision ablation for SMALLESTOUTPUT.
+
+§5.2 observes that "the cost of SO and BT(O) is sensitive to the error
+in cardinality estimation".  This bench quantifies it: SO with HLL
+precision p in {8, 10, 12, 14} against exact-cardinality SO on the same
+sstables.  Expectations:
+
+* the schedule cost of HLL-SO approaches exact-SO as p grows,
+* even p = 8 stays within ~10% of exact (estimation errors only
+  misorder near-tie merge choices),
+* estimation overhead grows with p (more registers per estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import is_fast
+
+from repro.analysis import format_table
+from repro.core import MergeInstance, merge_with
+
+PRECISIONS = (8, 10, 12, 14)
+
+
+def test_so_cost_vs_hll_precision(benchmark, results_dir):
+    def measure():
+        from repro.simulator import SimulationConfig, generate_sstables
+
+        config = SimulationConfig.figure7(update_fraction=0.5, seed=9)
+        if is_fast():
+            config = replace(config, operationcount=20_000)
+        tables = generate_sstables(config).tables
+        instance = MergeInstance(tuple(t.key_set for t in tables))
+
+        exact = merge_with("smallest_output", instance)
+        exact_cost = exact.replay(instance).simplified_cost
+        rows = [("exact", exact_cost, 1.0, exact.policy_seconds)]
+        for precision in PRECISIONS:
+            result = merge_with(
+                "smallest_output_hll", instance, hll_precision=precision
+            )
+            cost = result.replay(instance).simplified_cost
+            rows.append(
+                (f"p={precision}", cost, cost / exact_cost, result.policy_seconds)
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    (results_dir / "ablation_hll_precision.txt").write_text(
+        format_table(
+            ["estimator", "SO cost", "vs exact", "overhead s"],
+            rows,
+            float_digits=4,
+        )
+        + "\n"
+    )
+    by_label = {label: ratio for label, _, ratio, _ in rows}
+    assert by_label["p=8"] <= 1.10
+    assert by_label["p=12"] <= 1.03
+    assert by_label["p=14"] <= 1.02
+    # higher precision should not be (meaningfully) worse than lower
+    assert by_label["p=14"] <= by_label["p=8"] + 0.02

@@ -1,0 +1,81 @@
+"""K-WAYMERGING ablation: how merge fan-in changes cost and time.
+
+The paper defines K-WAYMERGING (§2) and evaluates with k = 2; this
+ablation sweeps k over {2, 3, 4, 8} on one Figure-7-style workload:
+
+* higher fan-in reduces costactual (fewer intermediate rewrites),
+* the Huffman-style first-merge padding for SI never hurts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import is_fast
+
+from repro.analysis import format_table
+from repro.core import GreedyMerger, MergeInstance
+from repro.simulator import SimulationConfig, generate_sstables, run_strategy
+
+K_VALUES = (2, 3, 4, 8)
+
+
+def _phase1():
+    config = SimulationConfig.figure7(update_fraction=0.25, seed=5)
+    if is_fast():
+        config = replace(config, operationcount=20_000)
+    return config, generate_sstables(config)
+
+
+def test_kway_cost_decreases_with_fanin(benchmark, results_dir):
+    def measure():
+        config, phase1 = _phase1()
+        rows = []
+        for k in K_VALUES:
+            result = run_strategy(
+                phase1.tables, "SI", replace(config, k=k)
+            )
+            rows.append(
+                (k, result.cost_actual, result.n_merges, result.total_simulated_seconds)
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    (results_dir / "ablation_kway.txt").write_text(
+        format_table(
+            ["k", "costactual", "merges", "sim seconds"], rows, float_digits=3
+        )
+        + "\n"
+    )
+    costs = [cost for _, cost, _, _ in rows]
+    merges = [m for _, _, m, _ in rows]
+    assert costs == sorted(costs, reverse=True), f"cost not decreasing in k: {costs}"
+    assert merges == sorted(merges, reverse=True)
+
+
+def test_kway_padding_never_hurts(benchmark):
+    def measure():
+        _, phase1 = _phase1()
+        instance = MergeInstance(tuple(t.key_set for t in phase1.tables))
+        deltas = []
+        for k in (3, 4, 5):
+            plain = (
+                GreedyMerger("SI", k=k)
+                .run(instance)
+                .replay(instance)
+                .simplified_cost
+            )
+            padded = (
+                GreedyMerger("SI", k=k, pad_first_merge=True)
+                .run(instance)
+                .replay(instance)
+                .simplified_cost
+            )
+            deltas.append((k, plain, padded))
+        return deltas
+
+    deltas = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for k, plain, padded in deltas:
+        assert padded <= plain * 1.001, (
+            f"k={k}: Huffman padding increased cost {plain} -> {padded}"
+        )

@@ -1,0 +1,96 @@
+"""Randomized search for bad SI/SO instances — the paper's open question.
+
+The conclusion asks whether SMALLESTINPUT/SMALLESTOUTPUT's real
+approximation factor is O(1): "We do not know of any bad example for
+these two heuristics showing that the O(log n) bound is tight."  This
+bench searches: random instances (several structural families), keeping
+the worst observed cost/OPT ratio per heuristic, with OPT computed
+exactly by the subset DP.
+
+The assertion encodes the state of knowledge: the search should NOT
+find a ratio anywhere near the (2 H_n + 1) guarantee — if it ever does,
+the bench fails loudly, which would be a publishable counterexample to
+the paper's conjecture.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import is_fast
+
+from repro.analysis import format_table
+from repro.core import MergeInstance, merge_with, optimal_merge
+from repro.core.bounds import smallest_heuristic_bound
+
+N_SETS = 9
+
+
+def _families(rng: random.Random) -> MergeInstance:
+    """Sample from several structural families of instances."""
+    family = rng.randrange(4)
+    if family == 0:  # uniform random subsets
+        universe = rng.randint(6, 30)
+        sets = [
+            frozenset(rng.sample(range(universe), rng.randint(1, universe)))
+            for _ in range(N_SETS)
+        ]
+    elif family == 1:  # nested chains with noise
+        sets = []
+        for index in range(N_SETS):
+            base = set(range(rng.randint(1, 2 ** min(index, 4))))
+            base.add(100 + rng.randrange(10))
+            sets.append(frozenset(base))
+    elif family == 2:  # clustered: two blocks with a shared bridge
+        sets = []
+        for index in range(N_SETS):
+            block = range(0, 12) if index % 2 == 0 else range(10, 22)
+            sets.append(
+                frozenset(rng.sample(list(block), rng.randint(2, 10)))
+            )
+    else:  # skewed sizes: one giant, many tiny
+        sets = [frozenset(range(rng.randint(20, 40)))]
+        sets += [
+            frozenset({rng.randrange(40)}) for _ in range(N_SETS - 1)
+        ]
+    return MergeInstance(tuple(sets))
+
+
+def test_search_for_bad_si_so_instances(benchmark, results_dir):
+    trials = 40 if is_fast() else 150
+
+    def search():
+        rng = random.Random(2015)
+        worst = {"SI": (1.0, None), "SO": (1.0, None)}
+        for _ in range(trials):
+            instance = _families(rng)
+            opt = optimal_merge(instance).cost
+            for policy in ("SI", "SO"):
+                cost = merge_with(policy, instance).replay(instance).simplified_cost
+                ratio = cost / opt
+                if ratio > worst[policy][0]:
+                    worst[policy] = (ratio, instance.sizes())
+        return worst
+
+    worst = benchmark.pedantic(search, rounds=1, iterations=1)
+    guarantee = smallest_heuristic_bound(N_SETS)
+    rows = [
+        [policy, round(ratio, 4), str(sizes)]
+        for policy, (ratio, sizes) in worst.items()
+    ]
+    (results_dir / "ablation_ratio_search.txt").write_text(
+        format_table(
+            ["heuristic", "worst cost/OPT found", "instance sizes"],
+            rows,
+            title=f"{trials} trials, n={N_SETS}, guarantee={guarantee:.2f}",
+        )
+        + "\n"
+    )
+
+    for policy, (ratio, _) in worst.items():
+        # The paper's conjecture: nothing close to the O(log n) factor.
+        assert ratio < guarantee / 2, (
+            f"{policy} ratio {ratio:.3f} approaches the guarantee — "
+            "a potential counterexample to the paper's O(1) conjecture!"
+        )
+        assert ratio >= 1.0

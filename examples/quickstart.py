@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's worked example (Section 4.3), end to end.
+
+Builds the 5-set instance from the paper, runs every greedy heuristic,
+prints each merge schedule as a tree with its cost, and compares against
+the exact optimum.  Expected costs (simplified cost, eq. 2.1):
+
+* BALANCETREE (arrival pairing) — 45 (Figure 4)
+* SMALLESTINPUT — 47 (Figure 5)
+* SMALLESTOUTPUT — 40 (Figure 6), which is optimal here.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MergeInstance, merge_with, optimal_merge
+from repro.analysis import render_schedule
+from repro.core import lopt
+
+SETS = [
+    {1, 2, 3, 5},   # A1
+    {1, 2, 3, 4},   # A2
+    {3, 4, 5},      # A3
+    {6, 7, 8},      # A4
+    {7, 8, 9},      # A5
+]
+
+
+def main() -> None:
+    instance = MergeInstance.from_iterables(SETS)
+    print("The paper's working example:", instance.describe())
+    print(f"LOPT (sum of input sizes) = {lopt(instance)}\n")
+
+    heuristics = [
+        ("BALANCETREE (arrival)", "balance_tree", {"suborder": "arrival"}),
+        ("BALANCETREE BT(I)", "BT(I)", {}),
+        ("SMALLESTINPUT (SI)", "SI", {}),
+        ("SMALLESTOUTPUT (SO)", "SO", {}),
+        ("SMALLESTOUTPUT via HLL", "smallest_output_hll", {}),
+        ("LARGESTMATCH (LM)", "LM", {}),
+        ("RANDOM (seed 7)", "random", {}),
+    ]
+    for title, policy, kwargs in heuristics:
+        result = merge_with(policy, instance, seed=7, **kwargs)
+        replay = result.replay(instance)
+        print(f"--- {title} ---")
+        print(render_schedule(result.schedule, instance))
+        print(
+            f"simplified cost (eq 2.1) = {replay.simplified_cost:.0f}   "
+            f"costactual = {replay.actual_cost:.0f}\n"
+        )
+
+    best = optimal_merge(instance)
+    print(f"Exact optimum (subset DP): {best.cost:.0f}")
+    print(render_schedule(best.schedule, instance))
+    so_cost = merge_with("SO", instance).replay(instance).simplified_cost
+    assert so_cost == best.cost, "SO should be optimal on this instance"
+    print("\nSMALLESTOUTPUT found the optimal schedule for this instance.")
+
+
+if __name__ == "__main__":
+    main()

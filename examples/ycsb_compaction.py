@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""YCSB-driven strategy comparison — a miniature of the paper's Figure 7.
+
+Generates a YCSB workload (latest distribution), pushes it through the
+fixed-capacity memtable to obtain sstables (phase 1), then compacts the
+same sstables with each of the paper's five strategies (phase 2) and
+prints cost and time, at three points of the insert/update spectrum.
+
+Run:  python examples/ycsb_compaction.py [--full]
+
+The default is a reduced scale (~10 s); ``--full`` uses the paper's
+operationcount of 100 000.
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.simulator import (
+    SimulationConfig,
+    generate_sstables,
+    run_strategy,
+    strategy_labels,
+)
+
+
+def main(full: bool = False) -> None:
+    base = SimulationConfig.figure7(update_fraction=0.0, seed=42)
+    if not full:
+        base = replace(base, operationcount=20_000)
+
+    for update_fraction in (0.0, 0.5, 1.0):
+        config = replace(base, update_fraction=update_fraction)
+        phase1 = generate_sstables(config)
+        print(
+            f"\n=== update fraction {update_fraction:.0%}: "
+            f"{phase1.n_tables} sstables, {phase1.total_entries} entries ==="
+        )
+        rows = []
+        for label in strategy_labels():
+            result = run_strategy(phase1.tables, label, config)
+            rows.append(
+                [
+                    label,
+                    result.cost_actual,
+                    round(result.cost_over_lopt, 2),
+                    round(result.total_simulated_seconds, 3),
+                    round(result.strategy_overhead_seconds, 3),
+                ]
+            )
+        print(
+            format_table(
+                ["strategy", "costactual", "cost/LOPT", "sim seconds", "overhead s"],
+                rows,
+            )
+        )
+
+    print(
+        "\nReading the table: every heuristic beats RANDOM at 0% updates;"
+        "\nBT(I) is fastest thanks to parallel level merges; SO pays the"
+        "\nHyperLogLog estimation overhead the paper describes in §5.2."
+    )
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv[1:])

@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs (no-network environments).
+
+The environment this repo targets may lack the ``wheel`` package, which
+PEP 517 editable installs require; ``pip install -e . --no-build-isolation
+--no-use-pep517`` falls back to this shim.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

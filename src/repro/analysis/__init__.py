@@ -1,0 +1,38 @@
+"""Analysis utilities: statistics, tables, ASCII plots, figure registry."""
+
+from .ascii_plot import scatter_plot
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    figure7,
+    figure7a,
+    figure7b,
+    figure8,
+    figure9a,
+    figure9b,
+    run_experiment,
+)
+from .render import render_schedule
+from .stats import LinearFit, linear_fit, log_log_fit, mean, pearson_r, stdev
+from .tables import format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "LinearFit",
+    "figure7",
+    "figure7a",
+    "figure7b",
+    "figure8",
+    "figure9a",
+    "figure9b",
+    "format_table",
+    "linear_fit",
+    "log_log_fit",
+    "mean",
+    "pearson_r",
+    "render_schedule",
+    "run_experiment",
+    "scatter_plot",
+    "stdev",
+]

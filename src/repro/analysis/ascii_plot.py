@@ -1,0 +1,95 @@
+"""ASCII scatter/line plots so figures render in a terminal or log file.
+
+Minimal but sufficient for the paper's figures: multiple labelled
+series, optional log-scaled axes (Figure 8 is log-log), automatic
+bounds, and a legend.  Markers are assigned per series in order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+Point = tuple[float, float]
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log axis requires positive values")
+        return math.log10(value)
+    return value
+
+
+def scatter_plot(
+    series: Mapping[str, Sequence[Point]],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render labelled point series on one character grid."""
+    all_points = [point for points in series.values() for point in points]
+    if not all_points:
+        raise ValueError("nothing to plot")
+    xs = [_transform(x, logx) for x, _ in all_points]
+    ys = [_transform(y, logy) for _, y in all_points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in points:
+            tx = (_transform(x, logx) - xmin) / xspan
+            ty = (_transform(y, logy) - ymin) / yspan
+            column = min(width - 1, round(tx * (width - 1)))
+            row = min(height - 1, round(ty * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    def axis_value(value: float, log: bool) -> str:
+        return f"{10 ** value:.3g}" if log else f"{value:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = axis_value(ymax, logy)
+    bottom = axis_value(ymin, logy)
+    gutter = max(len(top), len(bottom)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    left = axis_value(xmin, logx)
+    right = axis_value(xmax, logx)
+    lines.append(
+        " " * (gutter + 1)
+        + left
+        + " " * max(1, width - len(left) - len(right))
+        + right
+    )
+    axis_note = []
+    if logx:
+        axis_note.append("log x")
+    if logy:
+        axis_note.append("log y")
+    suffix = f"  [{', '.join(axis_note)}]" if axis_note else ""
+    lines.append(f"{ylabel} vs {xlabel}{suffix}")
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} = {label}"
+        for index, label in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,371 @@
+"""Figure registry: regenerate every figure of the paper's evaluation.
+
+Each ``figure*`` function runs the corresponding experiment and returns
+:class:`ExperimentResult` objects holding the numeric series, a text
+table and an ASCII rendering of the figure.  The module doubles as a
+CLI::
+
+    python -m repro.analysis.experiments fig7a          # paper scale
+    python -m repro.analysis.experiments all --fast     # quick pass
+    python -m repro.analysis.experiments fig8 --out results/
+
+Mapping to the paper:
+
+========  ==========================================================
+fig7a     costactual vs update %% for SI/SO/BT(I)/BT(O)/RANDOM (latest)
+fig7b     compaction time vs update %% for the same strategies
+fig8      BT(I) cost vs the LOPT lower bound, memtable sweep, log-log
+fig9a     cost-vs-time linearity for SI while the update %% varies
+fig9b     cost-vs-time linearity for SI while operationcount varies
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from ..simulator import (
+    SimulationConfig,
+    sweep_memtable_capacity,
+    sweep_operationcount,
+    sweep_update_fraction,
+)
+from .ascii_plot import scatter_plot
+from .stats import linear_fit, log_log_fit
+from .tables import format_table
+
+UPDATE_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+FIG7_STRATEGIES = ("SI", "SO", "BT(I)", "BT(O)", "RANDOM")
+FIG8_CAPACITIES = (10, 100, 1000, 10_000)
+FIG8_CAPACITIES_FAST = (10, 100, 1000)
+FIG9_DISTRIBUTIONS = ("uniform", "zipfian", "latest")
+FIG9B_OPERATION_COUNTS = (20_000, 40_000, 60_000, 80_000, 100_000)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated figure panel."""
+
+    experiment_id: str
+    title: str
+    text: str
+    series: dict[str, list[tuple[float, float]]]
+    metadata: dict = field(default_factory=dict)
+
+    def print(self, file=sys.stdout) -> None:  # pragma: no cover - CLI glue
+        print(f"== {self.experiment_id}: {self.title} ==", file=file)
+        print(self.text, file=file)
+
+
+def _fast_figure7_base(distribution: str) -> SimulationConfig:
+    return replace(
+        SimulationConfig.figure7(0.0, distribution),
+        operationcount=20_000,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — strategy comparison (cost and time vs update %)
+# ----------------------------------------------------------------------
+def figure7(
+    fast: bool = False,
+    runs: Optional[int] = None,
+    distribution: str = "latest",
+    base: Optional[SimulationConfig] = None,
+    fractions: Sequence[float] = UPDATE_FRACTIONS,
+) -> tuple[ExperimentResult, ExperimentResult]:
+    """Both panels of Figure 7 from a single sweep.
+
+    ``base`` and ``fractions`` override the paper's settings (used by
+    tests to exercise the full pipeline at a tiny scale).
+    """
+    runs = runs if runs is not None else (1 if fast else 3)
+    if base is None:
+        base = (
+            _fast_figure7_base(distribution)
+            if fast
+            else SimulationConfig.figure7(0.0, distribution)
+        )
+    sweep = sweep_update_fraction(base, fractions, FIG7_STRATEGIES, runs)
+
+    cost_rows, time_rows = [], []
+    cost_series: dict[str, list[tuple[float, float]]] = {s: [] for s in FIG7_STRATEGIES}
+    time_series: dict[str, list[tuple[float, float]]] = {s: [] for s in FIG7_STRATEGIES}
+    for point in sweep.points:
+        cost_row: list[object] = [point.x]
+        time_row: list[object] = [point.x]
+        for label in FIG7_STRATEGIES:
+            agg = point.per_strategy[label]
+            cost_row.append(agg.cost_actual_mean)
+            cost_row.append(agg.cost_actual_std)
+            seconds = agg.simulated_seconds_mean + agg.strategy_overhead_mean
+            time_row.append(seconds)
+            time_row.append(agg.simulated_seconds_std)
+            cost_series[label].append((point.x, agg.cost_actual_mean))
+            time_series[label].append((point.x, seconds))
+        cost_rows.append(cost_row)
+        time_rows.append(time_row)
+
+    headers = ["update %"]
+    for label in FIG7_STRATEGIES:
+        headers += [f"{label} mean", f"{label} std"]
+
+    cost_text = format_table(
+        headers, cost_rows, float_digits=0,
+        title=f"costactual (entries), distribution={distribution}, runs={runs}",
+    )
+    cost_plot = scatter_plot(
+        cost_series, title="Figure 7a", xlabel="update %", ylabel="costactual"
+    )
+    time_text = format_table(
+        headers, time_rows, float_digits=3,
+        title=f"compaction time (simulated s), distribution={distribution}, runs={runs}",
+    )
+    time_plot = scatter_plot(
+        time_series, title="Figure 7b", xlabel="update %", ylabel="seconds"
+    )
+    meta = {"runs": runs, "fast": fast, "distribution": distribution}
+    return (
+        ExperimentResult(
+            "fig7a",
+            "compaction cost vs update percentage (latest distribution)",
+            cost_text + "\n\n" + cost_plot,
+            cost_series,
+            meta,
+        ),
+        ExperimentResult(
+            "fig7b",
+            "compaction time vs update percentage (latest distribution)",
+            time_text + "\n\n" + time_plot,
+            time_series,
+            meta,
+        ),
+    )
+
+
+def figure7a(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult:
+    return figure7(fast, runs)[0]
+
+
+def figure7b(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult:
+    return figure7(fast, runs)[1]
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — BT(I) vs the LOPT lower bound (log-log)
+# ----------------------------------------------------------------------
+def figure8(
+    fast: bool = False,
+    runs: Optional[int] = None,
+    distribution: str = "latest",
+    capacities: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    runs = runs if runs is not None else (1 if fast else 3)
+    if capacities is None:
+        capacities = FIG8_CAPACITIES_FAST if fast else FIG8_CAPACITIES
+    sweep = sweep_memtable_capacity(
+        capacities, ("BT(I)",), runs=runs, distribution=distribution
+    )
+    rows = []
+    bt_series: list[tuple[float, float]] = []
+    lopt_series: list[tuple[float, float]] = []
+    for point in sweep.points:
+        agg = point.per_strategy["BT(I)"]
+        rows.append(
+            [
+                int(point.x),
+                agg.cost_actual_mean,
+                agg.lopt_entries_mean,
+                agg.cost_over_lopt,
+            ]
+        )
+        bt_series.append((point.x, agg.cost_actual_mean))
+        lopt_series.append((point.x, agg.lopt_entries_mean))
+
+    bt_fit = log_log_fit([x for x, _ in bt_series], [y for _, y in bt_series])
+    lopt_fit = log_log_fit([x for x, _ in lopt_series], [y for _, y in lopt_series])
+    table = format_table(
+        ["memtable", "BT(I) cost", "LOPT (sum sizes)", "cost/LOPT"],
+        rows,
+        float_digits=1,
+        title=f"distribution={distribution}, 100 sstables, update:insert=60:40, runs={runs}",
+    )
+    plot = scatter_plot(
+        {"BT(I)": bt_series, "LOPT": lopt_series},
+        logx=True,
+        logy=True,
+        title="Figure 8",
+        xlabel="memtable size",
+        ylabel="cost (entries)",
+    )
+    summary = (
+        f"log-log slopes: BT(I)={bt_fit.slope:.3f}, LOPT={lopt_fit.slope:.3f} "
+        f"(parallel lines => constant factor; paper reports the same)"
+    )
+    return ExperimentResult(
+        "fig8",
+        "BT(I) cost vs optimal lower bound (log-log memtable sweep)",
+        table + "\n\n" + plot + "\n" + summary,
+        {"BT(I)": bt_series, "LOPT": lopt_series},
+        {
+            "runs": runs,
+            "fast": fast,
+            "bt_slope": bt_fit.slope,
+            "lopt_slope": lopt_fit.slope,
+            "ratios": [row[3] for row in rows],
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — cost-function effectiveness (cost vs time for SI)
+# ----------------------------------------------------------------------
+def _cost_time_points(sweep, label: str = "SI") -> list[tuple[float, float]]:
+    return [
+        (
+            point.per_strategy[label].cost_actual_mean,
+            point.per_strategy[label].simulated_seconds_mean
+            + point.per_strategy[label].strategy_overhead_mean,
+        )
+        for point in sweep.points
+    ]
+
+
+def figure9a(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult:
+    runs = runs if runs is not None else (1 if fast else 3)
+    series: dict[str, list[tuple[float, float]]] = {}
+    fits = {}
+    for distribution in FIG9_DISTRIBUTIONS:
+        base = (
+            _fast_figure7_base(distribution)
+            if fast
+            else SimulationConfig.figure7(0.0, distribution)
+        )
+        sweep = sweep_update_fraction(base, UPDATE_FRACTIONS, ("SI",), runs)
+        points = _cost_time_points(sweep)
+        series[distribution] = points
+        fits[distribution] = linear_fit(
+            [c for c, _ in points], [t for _, t in points]
+        )
+    rows = [
+        [dist, fit.slope, fit.intercept, fit.r]
+        for dist, fit in fits.items()
+    ]
+    table = format_table(
+        ["distribution", "slope (s/entry)", "intercept", "pearson r"],
+        rows,
+        float_digits=6,
+        title=f"SI cost vs time while update %% varies, runs={runs}",
+    )
+    plot = scatter_plot(
+        series, title="Figure 9a", xlabel="costactual", ylabel="seconds"
+    )
+    return ExperimentResult(
+        "fig9a",
+        "cost vs completion time for SI (update percentage varied)",
+        table + "\n\n" + plot,
+        series,
+        {"runs": runs, "fast": fast, "r": {d: f.r for d, f in fits.items()}},
+    )
+
+
+def figure9b(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult:
+    runs = runs if runs is not None else (1 if fast else 3)
+    counts = (
+        tuple(count // 5 for count in FIG9B_OPERATION_COUNTS)
+        if fast
+        else FIG9B_OPERATION_COUNTS
+    )
+    series: dict[str, list[tuple[float, float]]] = {}
+    fits = {}
+    for distribution in FIG9_DISTRIBUTIONS:
+        base = replace(
+            SimulationConfig.figure7(0.0, distribution), update_fraction=0.6
+        )
+        sweep = sweep_operationcount(base, counts, ("SI",), runs)
+        points = _cost_time_points(sweep)
+        series[distribution] = points
+        fits[distribution] = linear_fit(
+            [c for c, _ in points], [t for _, t in points]
+        )
+    rows = [[dist, fit.slope, fit.intercept, fit.r] for dist, fit in fits.items()]
+    table = format_table(
+        ["distribution", "slope (s/entry)", "intercept", "pearson r"],
+        rows,
+        float_digits=6,
+        title=f"SI cost vs time while operationcount varies, runs={runs}",
+    )
+    plot = scatter_plot(
+        series, title="Figure 9b", xlabel="costactual", ylabel="seconds"
+    )
+    return ExperimentResult(
+        "fig9b",
+        "cost vs completion time for SI (operationcount varied)",
+        table + "\n\n" + plot,
+        series,
+        {"runs": runs, "fast": fast, "r": {d: f.r for d, f in fits.items()}},
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry + CLI
+# ----------------------------------------------------------------------
+EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "fig7a": figure7a,
+    "fig7b": figure7b,
+    "fig8": figure8,
+    "fig9a": figure9a,
+    "fig9b": figure9b,
+}
+
+
+def run_experiment(
+    experiment_id: str, fast: bool = False, runs: Optional[int] = None
+) -> list[ExperimentResult]:
+    """Run one experiment id (``fig7`` expands to both panels)."""
+    if experiment_id == "fig7":
+        return list(figure7(fast, runs))
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)} + ['fig7', 'all']"
+        )
+    result = EXPERIMENTS[experiment_id](fast=fast, runs=runs)
+    return [result]  # type: ignore[list-item]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation figures."
+    )
+    parser.add_argument(
+        "experiment",
+        help="fig7 | fig7a | fig7b | fig8 | fig9a | fig9b | all",
+    )
+    parser.add_argument("--fast", action="store_true", help="reduced scale")
+    parser.add_argument("--runs", type=int, default=None, help="independent runs")
+    parser.add_argument("--out", type=Path, default=None, help="directory for .txt dumps")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        ids = ["fig7", "fig8", "fig9a", "fig9b"]
+    else:
+        ids = [args.experiment]
+    for experiment_id in ids:
+        for result in run_experiment(experiment_id, fast=args.fast, runs=args.runs):
+            result.print()
+            print()
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                path = args.out / f"{result.experiment_id}.txt"
+                path.write_text(f"{result.title}\n\n{result.text}\n")
+                print(f"[written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

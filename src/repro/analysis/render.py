@@ -1,0 +1,45 @@
+"""Human-readable rendering of merge schedules and trees."""
+
+from __future__ import annotations
+
+from ..core.instance import MergeInstance
+from ..core.schedule import MergeSchedule
+
+
+def render_schedule(
+    schedule: MergeSchedule,
+    instance: MergeInstance,
+    max_keys_shown: int = 12,
+) -> str:
+    """Render a merge schedule as an indented tree with node key sets.
+
+    The root appears first; each node shows the keys of its table (input
+    sets are labelled ``A1..An`` like the paper's figures).  Key sets
+    larger than ``max_keys_shown`` are elided.
+    """
+    replay = schedule.replay(instance)
+    children: dict[int, tuple[int, ...]] = {
+        step.output: step.inputs for step in schedule.steps
+    }
+
+    def keys_text(table_id: int) -> str:
+        keys = sorted(replay.tables[table_id], key=repr)
+        if len(keys) > max_keys_shown:
+            shown = ", ".join(repr(k) for k in keys[:max_keys_shown])
+            return f"{{{shown}, ... ({len(keys)} keys)}}"
+        return "{" + ", ".join(repr(k) for k in keys) + "}"
+
+    def label(table_id: int) -> str:
+        if table_id < instance.n:
+            return f"A{table_id + 1} {keys_text(table_id)}"
+        return f"merge -> {keys_text(table_id)}"
+
+    lines: list[str] = []
+
+    def walk(table_id: int, depth: int) -> None:
+        lines.append("    " * depth + label(table_id))
+        for child in children.get(table_id, ()):
+            walk(child, depth + 1)
+
+    walk(schedule.final_id, 0)
+    return "\n".join(lines)

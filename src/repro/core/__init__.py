@@ -1,0 +1,120 @@
+"""The paper's primary contribution: compaction as merge-schedule optimization.
+
+Public surface:
+
+* :class:`MergeInstance` — the input sets ``A_1..A_n``.
+* :class:`MergeTree` / :class:`MergeSchedule` — the two equivalent views
+  of a solution.
+* Cost functions — :func:`simplified_cost` (eq. 2.1), :func:`actual_cost`
+  (costactual), :func:`per_element_cost` (eq. 2.2), plus the submodular
+  cost-function classes.
+* :class:`GreedyMerger` / :func:`merge_with` — Algorithm 1 with the
+  BT / SI / SO / LM / RANDOM policies (see :mod:`repro.core.policies`).
+* :func:`freq_binary_merging` — Algorithm 2 (the f-approximation).
+* :func:`optimal_merge` — exact optimum for small instances.
+"""
+
+from . import adversarial, hardness, minor
+from .bounds import (
+    balance_tree_bound,
+    freq_bound,
+    harmonic,
+    lopt,
+    smallest_heuristic_bound,
+    trivial_upper_bound,
+)
+from .cost import (
+    CardinalityCost,
+    InitOverheadCost,
+    MergeCostFunction,
+    WeightedKeyCost,
+    actual_cost,
+    per_element_cost,
+    per_element_cost_literal,
+    simplified_cost,
+    submodular_merge_cost,
+)
+from .freq_approx import freq_binary_merging, make_dummy_instance
+from .greedy import GreedyMerger, GreedyResult, merge_with
+from .instance import MergeInstance
+from .keyset import BitsetEncoder, freeze, freeze_all, union_all
+from .optimal import (
+    OptimalResult,
+    brute_force_optimal,
+    enumerate_schedules,
+    optimal_merge,
+    optimal_merge_kway,
+)
+from .policies import available_policies, make_policy
+from .schedule import (
+    MergeSchedule,
+    MergeStep,
+    ScheduleMetrics,
+    ScheduleReplay,
+    evaluate_schedule,
+)
+from .submodular import check_monotone, check_submodular, is_monotone_submodular
+from .tree import (
+    MergeNode,
+    MergeTree,
+    balanced_tree,
+    eta_lower_bound,
+    is_perfect_binary,
+    join,
+    leaf,
+    left_deep_tree,
+)
+
+__all__ = [
+    "BitsetEncoder",
+    "CardinalityCost",
+    "GreedyMerger",
+    "GreedyResult",
+    "InitOverheadCost",
+    "MergeCostFunction",
+    "MergeInstance",
+    "MergeNode",
+    "MergeSchedule",
+    "MergeStep",
+    "MergeTree",
+    "OptimalResult",
+    "ScheduleMetrics",
+    "ScheduleReplay",
+    "WeightedKeyCost",
+    "actual_cost",
+    "adversarial",
+    "available_policies",
+    "balance_tree_bound",
+    "balanced_tree",
+    "brute_force_optimal",
+    "check_monotone",
+    "check_submodular",
+    "enumerate_schedules",
+    "eta_lower_bound",
+    "evaluate_schedule",
+    "freeze",
+    "freeze_all",
+    "freq_binary_merging",
+    "freq_bound",
+    "hardness",
+    "harmonic",
+    "is_monotone_submodular",
+    "is_perfect_binary",
+    "join",
+    "leaf",
+    "left_deep_tree",
+    "lopt",
+    "make_dummy_instance",
+    "make_policy",
+    "merge_with",
+    "minor",
+    "optimal_merge",
+    "optimal_merge_kway",
+    "per_element_cost",
+    "per_element_cost_literal",
+    "simplified_cost",
+    "smallest_heuristic_bound",
+    "submodular_merge_cost",
+    "trivial_upper_bound",
+    "union_all",
+]

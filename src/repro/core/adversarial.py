@@ -1,0 +1,92 @@
+"""Adversarial instances from the paper's tightness arguments.
+
+* :func:`bt_lower_bound_instance` — Lemma 4.2: ``n - 1`` copies of
+  ``{1}`` plus ``{1..n}``.  Left-to-right merging costs ``4n - 3``
+  (simplified), while BALANCETREE pays at least ``n (log2 n + 1)`` —
+  the Omega(log n) gap showing Lemma 4.1 is tight.
+* :func:`disjoint_singletons` — Lemma 4.5: ``n`` disjoint singletons.
+  ``LOPT = n`` while any heuristic's balanced merge costs
+  ``n log2 n + n``, showing the greedy analysis is tight *w.r.t. LOPT*.
+* :func:`lm_gap_instance` — §4.3.4: the nested chain
+  ``A_i = {1..2^(i-1)}`` on which LARGESTMATCH pays Omega(n) times the
+  left-to-right optimum ``2^(n+1) - 3``.
+* :func:`huffman_instance` — disjoint sets with prescribed sizes (the
+  case where SI/SO are provably optimal, Lemma 4.3).
+* :func:`left_to_right_schedule` — the caterpillar-shaped schedule that
+  is optimal for the first and third family.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import InvalidInstanceError
+from .instance import MergeInstance
+from .schedule import MergeSchedule, MergeStep
+
+
+def bt_lower_bound_instance(n: int) -> MergeInstance:
+    """Lemma 4.2's family: ``n - 1`` copies of ``{1}`` and one ``{1..n}``."""
+    if n < 2:
+        raise InvalidInstanceError("the BT lower-bound family needs n >= 2")
+    small = frozenset({1})
+    big = frozenset(range(1, n + 1))
+    return MergeInstance(tuple([small] * (n - 1) + [big]))
+
+
+def bt_lower_bound_optimal_cost(n: int) -> int:
+    """Simplified cost ``4n - 3`` of the left-to-right merge (Lemma 4.2)."""
+    return 4 * n - 3
+
+
+def disjoint_singletons(n: int) -> MergeInstance:
+    """Lemma 4.5's family: ``A_i = {i}`` for ``i = 1..n`` (LOPT = n)."""
+    if n < 1:
+        raise InvalidInstanceError("n must be positive")
+    return MergeInstance(tuple(frozenset({i}) for i in range(1, n + 1)))
+
+
+def lm_gap_instance(n: int) -> MergeInstance:
+    """§4.3.4's family: nested sets ``A_i = {1..2^(i-1)}``.
+
+    Sizes grow exponentially, so keep ``n <= 20`` (the default tests use
+    far less); the largest set then has ~half a million elements.
+    """
+    if not 2 <= n <= 20:
+        raise InvalidInstanceError("lm_gap_instance supports 2 <= n <= 20")
+    return MergeInstance(
+        tuple(frozenset(range(1, 2 ** (i - 1) + 1)) for i in range(1, n + 1))
+    )
+
+
+def lm_gap_optimal_cost(n: int) -> int:
+    """Left-to-right simplified cost ``2^(n+1) - 3`` on the LM family."""
+    return 2 ** (n + 1) - 3
+
+
+def huffman_instance(sizes: Sequence[int]) -> MergeInstance:
+    """Disjoint sets with the given sizes (the Huffman special case)."""
+    if not sizes:
+        raise InvalidInstanceError("sizes must be non-empty")
+    sets = []
+    next_element = 0
+    for index, size in enumerate(sizes):
+        if size < 1:
+            raise InvalidInstanceError(f"size #{index} must be positive, got {size}")
+        sets.append(frozenset(range(next_element, next_element + size)))
+        next_element += size
+    return MergeInstance(tuple(sets))
+
+
+def left_to_right_schedule(n: int) -> MergeSchedule:
+    """The caterpillar schedule: merge tables 0,1 then fold in 2, 3, ...
+
+    Optimal for both :func:`bt_lower_bound_instance` and
+    :func:`lm_gap_instance`.
+    """
+    if n < 2:
+        raise InvalidInstanceError("a schedule needs at least 2 tables")
+    steps = [MergeStep((0, 1), n)]
+    for index in range(2, n):
+        steps.append(MergeStep((n + index - 2, index), n + index - 1))
+    return MergeSchedule(n, steps)

@@ -1,0 +1,61 @@
+"""Bounds from the paper's analysis (Sections 4.1-4.4, Appendix A).
+
+* :func:`lopt` — the lower bound ``LOPT = sum(|A_i|) <= OPT`` (§4.1).
+* :func:`harmonic` — the harmonic number ``H_n``.
+* :func:`smallest_heuristic_bound` — the ``(2 H_n + 1)`` approximation
+  factor of SMALLESTINPUT / SMALLESTOUTPUT (Lemma 4.4).
+* :func:`balance_tree_bound` — the ``ceil(log2 n) + 1`` factor of
+  BALANCETREE (Lemma 4.1).
+* :func:`freq_bound` — the ``f`` factor of FREQBINARYMERGING (Lemma 4.6).
+* :func:`trivial_upper_bound` — Lemma A.3's ``2 m n`` cap on the
+  simplified cost of *any* schedule.
+
+All factors are with respect to the simplified cost (eq. 2.1); the paper
+notes an alpha-approximation for the simplified cost yields a
+2*alpha-approximation for ``costactual``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .cost import DEFAULT_COST, MergeCostFunction
+from .instance import MergeInstance
+
+
+def lopt(instance: MergeInstance, cost_fn: MergeCostFunction = DEFAULT_COST) -> float:
+    """``LOPT = sum(f(A_i))`` — every leaf appears in any merge tree (§4.1)."""
+    return sum(cost_fn.of(s) for s in instance.sets)
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number ``H_n = 1 + 1/2 + ... + 1/n``."""
+    if n < 0:
+        raise ValueError("harmonic numbers are defined for n >= 0")
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+def smallest_heuristic_bound(n: int) -> float:
+    """Lemma 4.4: SI and SO cost at most ``(2 H_n + 1) * OPT``."""
+    return 2.0 * harmonic(n) + 1.0
+
+
+def balance_tree_bound(n: int) -> float:
+    """Lemma 4.1: BALANCETREE cost at most ``(ceil(log2 n) + 1) * OPT``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return math.ceil(math.log2(n)) + 1.0 if n > 1 else 1.0
+
+def freq_bound(instance: MergeInstance) -> int:
+    """Lemma 4.6: FREQBINARYMERGING cost at most ``f * OPT``."""
+    return instance.max_frequency
+
+
+def trivial_upper_bound(instance: MergeInstance) -> int:
+    """Lemma A.3: any schedule's simplified cost is at most ``2 m n``."""
+    return 2 * instance.ground_size * instance.n
+
+
+def actual_cost_factor(simplified_factor: float) -> float:
+    """Convert a simplified-cost factor to a costactual factor (Section 2)."""
+    return 2.0 * simplified_factor

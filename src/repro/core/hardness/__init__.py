@@ -1,0 +1,34 @@
+"""Executable version of the paper's NP-hardness apparatus (Appendix A)."""
+
+from .caterpillar import caterpillar_tree, is_caterpillar
+from .opt_tree_assign import (
+    assignment_cost,
+    opt_tree_assign_bruteforce,
+    opt_tree_assign_local_search,
+)
+from .reduction import (
+    SdaReduction,
+    data_arrangement_cost,
+    forcing_pad_size,
+    pad_with_disjoint,
+    padded_cost_identity,
+    reduce_sda_to_binary_merging,
+    sda_optimum_bruteforce,
+    sets_from_graph,
+)
+
+__all__ = [
+    "SdaReduction",
+    "assignment_cost",
+    "caterpillar_tree",
+    "data_arrangement_cost",
+    "forcing_pad_size",
+    "is_caterpillar",
+    "opt_tree_assign_bruteforce",
+    "opt_tree_assign_local_search",
+    "pad_with_disjoint",
+    "padded_cost_identity",
+    "reduce_sda_to_binary_merging",
+    "sda_optimum_bruteforce",
+    "sets_from_graph",
+]

@@ -1,0 +1,30 @@
+"""Caterpillar trees (paper, Section 3, Figure 3).
+
+The caterpillar ``T_n`` has ``n`` leaves and height ``n - 1``: it is the
+merge tree of a strict left-to-right merge.  Fixing the merge tree to a
+caterpillar turns BINARYMERGING into an ordering problem related to
+precedence-constrained scheduling — the paper's first (unusable) attempt
+at a hardness proof, reproduced here for the test suite's structural
+checks.
+"""
+
+from __future__ import annotations
+
+from ..tree import MergeTree, left_deep_tree
+
+
+def caterpillar_tree(n: int) -> MergeTree:
+    """The caterpillar ``T_n`` (alias of :func:`repro.core.tree.left_deep_tree`)."""
+    return left_deep_tree(n)
+
+
+def is_caterpillar(tree: MergeTree) -> bool:
+    """True iff every internal node has at least one leaf child."""
+    if tree.n_leaves == 1:
+        return True
+    if not tree.is_binary:
+        return False
+    return all(
+        any(child.is_leaf for child in node.children)
+        for node in tree.internal_nodes()
+    )

@@ -1,0 +1,98 @@
+"""The OPT-TREE-ASSIGN problem (paper, Appendix A.2).
+
+Given sets ``A_1..A_n`` and a *fixed* full binary tree ``T`` with ``n``
+leaves, find the assignment ``pi`` of sets to leaves minimizing
+``cost(T, pi, A_1..A_n)``.  The paper proves this NP-hard for the
+perfectly balanced tree (via SIMPLE DATA ARRANGEMENT) and uses it as the
+stepping stone to BINARYMERGING's hardness.
+
+For experimentation we provide:
+
+* :func:`assignment_cost` — evaluate one assignment.
+* :func:`opt_tree_assign_bruteforce` — exact optimum by permutation
+  enumeration (guarded to ``n <= 9``).
+* :func:`opt_tree_assign_local_search` — seeded swap-based local search
+  for larger trees (no optimality guarantee; useful as an upper bound).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import permutations
+from typing import Optional
+
+from ...errors import InvalidInstanceError
+from ..cost import DEFAULT_COST, MergeCostFunction, simplified_cost
+from ..instance import MergeInstance
+from ..tree import MergeTree
+
+_BRUTE_FORCE_CAP = 9
+
+
+def assignment_cost(
+    tree: MergeTree,
+    instance: MergeInstance,
+    assignment: Optional[tuple[int, ...]] = None,
+    cost_fn: MergeCostFunction = DEFAULT_COST,
+) -> float:
+    """Simplified cost (eq. 2.1) of ``instance`` arranged on ``tree``."""
+    return simplified_cost(tree, instance, assignment, cost_fn)
+
+
+def opt_tree_assign_bruteforce(
+    tree: MergeTree,
+    instance: MergeInstance,
+    cost_fn: MergeCostFunction = DEFAULT_COST,
+) -> tuple[float, tuple[int, ...]]:
+    """Exact OPT-TREE-ASSIGN by enumerating all ``n!`` assignments."""
+    n = instance.n
+    if n > _BRUTE_FORCE_CAP:
+        raise InvalidInstanceError(
+            f"brute force supports n <= {_BRUTE_FORCE_CAP}; got n = {n}"
+        )
+    best_cost = float("inf")
+    best_assignment: tuple[int, ...] = tuple(range(n))
+    for assignment in permutations(range(n)):
+        cost = simplified_cost(tree, instance, assignment, cost_fn)
+        if cost < best_cost:
+            best_cost = cost
+            best_assignment = assignment
+    return best_cost, best_assignment
+
+
+def opt_tree_assign_local_search(
+    tree: MergeTree,
+    instance: MergeInstance,
+    cost_fn: MergeCostFunction = DEFAULT_COST,
+    restarts: int = 3,
+    seed: int = 0,
+) -> tuple[float, tuple[int, ...]]:
+    """Swap-based local search: repeatedly apply improving leaf swaps.
+
+    Deterministic for a fixed seed.  Returns the best local optimum over
+    ``restarts`` random starting permutations.
+    """
+    n = instance.n
+    rng = random.Random(seed)
+    best_cost = float("inf")
+    best_assignment: tuple[int, ...] = tuple(range(n))
+    for _ in range(max(1, restarts)):
+        assignment = list(range(n))
+        rng.shuffle(assignment)
+        cost = simplified_cost(tree, instance, assignment, cost_fn)
+        improved = True
+        while improved:
+            improved = False
+            for i in range(n):
+                for j in range(i + 1, n):
+                    assignment[i], assignment[j] = assignment[j], assignment[i]
+                    candidate = simplified_cost(tree, instance, assignment, cost_fn)
+                    if candidate < cost:
+                        cost = candidate
+                        improved = True
+                    else:
+                        assignment[i], assignment[j] = assignment[j], assignment[i]
+        if cost < best_cost:
+            best_cost = cost
+            best_assignment = tuple(assignment)
+    return best_cost, best_assignment

@@ -1,0 +1,203 @@
+"""The NP-hardness reduction machinery (paper, Appendix A).
+
+The proof chain is: SIMPLE DATA ARRANGEMENT (Luczak & Noble) reduces to
+OPT-TREE-ASSIGN on the perfect binary tree (Lemma A.1), which reduces to
+BINARYMERGING by padding each set with a large fresh disjoint block
+``B_i`` that *forces* the optimal merge tree to be perfectly balanced
+(Lemmas A.2-A.6).  This module makes every step executable so the test
+suite can verify the lemmas numerically on small instances:
+
+* :func:`sets_from_graph` — Lemma A.1's construction
+  ``A_i = {edges incident to vertex i}``.
+* :func:`data_arrangement_cost` — the SDA objective
+  ``sum over edges of d_T(f(i), f(j))``.
+* :func:`pad_with_disjoint` / :func:`forcing_pad_size` — the ``A_i u B_i``
+  instance with ``|B_i| = S > 2 m n`` (Lemma A.5/A.6).
+* :func:`padded_cost_identity` — both sides of Lemma A.4:
+  ``cost(T, pi, A u B) = cost(T, pi, A) + S * eta(T)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Optional
+
+from ...errors import InvalidInstanceError
+from ..cost import DEFAULT_COST, MergeCostFunction, simplified_cost
+from ..instance import MergeInstance
+from ..tree import MergeTree, balanced_tree
+
+Edge = tuple[int, int]
+
+
+def sets_from_graph(n_vertices: int, edges: Sequence[Edge]) -> MergeInstance:
+    """Lemma A.1: one set per vertex, containing its incident edge ids.
+
+    Every vertex must have degree >= 1 (empty sets are not valid
+    sstables, and isolated vertices contribute nothing to the SDA cost).
+    """
+    incident: list[set] = [set() for _ in range(n_vertices)]
+    for edge_id, (u, v) in enumerate(edges):
+        if not (0 <= u < n_vertices and 0 <= v < n_vertices) or u == v:
+            raise InvalidInstanceError(f"bad edge #{edge_id}: {(u, v)!r}")
+        incident[u].add(edge_id)
+        incident[v].add(edge_id)
+    if any(not inc for inc in incident):
+        raise InvalidInstanceError("every vertex needs degree >= 1")
+    return MergeInstance(tuple(frozenset(inc) for inc in incident))
+
+
+def data_arrangement_cost(
+    tree: MergeTree, placement: Sequence[int], edges: Sequence[Edge]
+) -> int:
+    """SDA objective: sum over edges of the leaf-to-leaf tree distance.
+
+    ``placement[vertex]`` is the leaf position hosting that vertex.
+    Distances are computed on ``tree`` between the placed leaves.
+    """
+    leaves = tree.leaves()
+    depths = tree.depths()
+    # Ancestor chains per leaf position for LCA-based distances.
+    parent: dict[int, Optional[int]] = {tree.root.uid: None}
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        for child in node.children:
+            parent[child.uid] = node.uid
+            stack.append(child)
+
+    def ancestors(uid: int) -> list[int]:
+        chain = [uid]
+        while parent[chain[-1]] is not None:
+            chain.append(parent[chain[-1]])  # type: ignore[arg-type]
+        return chain
+
+    chains = {leaf.uid: set(ancestors(leaf.uid)) for leaf in leaves}
+
+    def distance(position_a: int, position_b: int) -> int:
+        uid_a = leaves[position_a].uid
+        uid_b = leaves[position_b].uid
+        if uid_a == uid_b:
+            return 0
+        chain_a = chains[uid_a]
+        node = uid_b
+        while node not in chain_a:
+            node = parent[node]  # type: ignore[assignment]
+        lca_depth = depths[node]
+        return (depths[uid_a] - lca_depth) + (depths[uid_b] - lca_depth)
+
+    return sum(distance(placement[u], placement[v]) for u, v in edges)
+
+
+def forcing_pad_size(instance: MergeInstance) -> int:
+    """Lemma A.6's pad size ``S = 2 m n + 1`` (strictly above Lemma A.3)."""
+    return 2 * instance.ground_size * instance.n + 1
+
+
+def pad_with_disjoint(instance: MergeInstance, pad_size: int) -> MergeInstance:
+    """Build the instance ``A_i u B_i`` with fresh disjoint ``B_i`` of ``pad_size``."""
+    if pad_size < 1:
+        raise InvalidInstanceError("pad_size must be positive")
+    padded = []
+    for index, keys in enumerate(instance.sets):
+        pad = frozenset(("pad", index, j) for j in range(pad_size))
+        padded.append(keys | pad)
+    return MergeInstance(tuple(padded))
+
+
+@dataclass(frozen=True)
+class SdaReduction:
+    """The complete decision-problem reduction of Appendix A.
+
+    Given a graph ``G = (V, E)`` with ``|V| = n = 2^h``, SIMPLE DATA
+    ARRANGEMENT asks whether some placement ``f`` of vertices on the
+    leaves of the perfect binary tree achieves
+    ``sum over edges of d_T(f(i), f(j)) <= B``.  Chaining Lemma A.1
+    (``cost(T-bar, pi, A) = |E| log2(2n) + (1/2) sum d_T``) with Lemma
+    A.5 (``opts(A u B) = opta(T-bar, A) + S n log2(2n)``) gives:
+
+        SDA(G, B) is a YES instance
+            <=>  opts(padded instance) <= threshold(B).
+
+    ``padded_instance`` is a *plain BINARYMERGING input*; solving it
+    (exactly, for testable sizes) answers the arrangement problem.
+    """
+
+    n_vertices: int
+    edges: tuple[Edge, ...]
+    base_instance: MergeInstance
+    padded_instance: MergeInstance
+    pad_size: int
+
+    def threshold(self, budget: int) -> float:
+        """The merge-cost bound equivalent to SDA budget ``B``."""
+        n = self.n_vertices
+        return (
+            len(self.edges) * math.log2(2 * n)
+            + budget / 2.0
+            + self.pad_size * n * math.log2(2 * n)
+        )
+
+    def decide_via_merging(self, budget: int, opts_padded: float) -> bool:
+        """Answer SDA given the optimal padded merge cost."""
+        return opts_padded <= self.threshold(budget) + 1e-9
+
+
+def reduce_sda_to_binary_merging(
+    n_vertices: int, edges: Sequence[Edge]
+) -> SdaReduction:
+    """Construct the BINARYMERGING instance encoding an SDA question.
+
+    ``n_vertices`` must be a power of two (the SDA variant the paper
+    reduces from); every vertex must have degree >= 1.
+    """
+    if n_vertices < 2 or n_vertices & (n_vertices - 1):
+        raise InvalidInstanceError("SDA reduction requires |V| a power of two")
+    base = sets_from_graph(n_vertices, edges)
+    pad = forcing_pad_size(base)
+    return SdaReduction(
+        n_vertices=n_vertices,
+        edges=tuple(edges),
+        base_instance=base,
+        padded_instance=pad_with_disjoint(base, pad),
+        pad_size=pad,
+    )
+
+
+def sda_optimum_bruteforce(
+    n_vertices: int, edges: Sequence[Edge]
+) -> tuple[int, tuple[int, ...]]:
+    """Exact SDA optimum by enumerating all placements (n <= 8)."""
+    if n_vertices > 8:
+        raise InvalidInstanceError("brute-force SDA supports n <= 8")
+    tree = balanced_tree(n_vertices)
+    best_cost: Optional[int] = None
+    best_placement: tuple[int, ...] = tuple(range(n_vertices))
+    for placement in permutations(range(n_vertices)):
+        cost = data_arrangement_cost(tree, placement, edges)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_placement = placement
+    assert best_cost is not None
+    return best_cost, best_placement
+
+
+def padded_cost_identity(
+    tree: MergeTree,
+    instance: MergeInstance,
+    pad_size: int,
+    assignment: Optional[tuple[int, ...]] = None,
+    cost_fn: MergeCostFunction = DEFAULT_COST,
+) -> tuple[float, float]:
+    """Both sides of Lemma A.4 for the cardinality cost.
+
+    Returns ``(cost(T, pi, A u B), cost(T, pi, A) + S * eta(T))``;
+    Lemma A.4 asserts they are equal.
+    """
+    padded = pad_with_disjoint(instance, pad_size)
+    lhs = simplified_cost(tree, padded, assignment, cost_fn)
+    rhs = simplified_cost(tree, instance, assignment, cost_fn) + pad_size * tree.eta()
+    return lhs, rhs

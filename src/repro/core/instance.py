@@ -1,0 +1,112 @@
+"""Merge-problem instances.
+
+A :class:`MergeInstance` is the input to every algorithm in
+:mod:`repro.core`: the collection ``A_1, ..., A_n`` of key sets (sstables)
+from the paper's Section 2.  It validates its input once and then exposes
+the derived quantities the paper's analysis relies on:
+
+* the ground set ``U`` and its size ``m``,
+* ``LOPT = sum(|A_i|)`` — the lower bound on the optimal merge cost used
+  throughout Section 4,
+* the element frequency map and ``f = max_x f_x`` — the parameter of the
+  f-approximation (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..errors import InvalidInstanceError
+from .keyset import Key, freeze_all, union_all
+
+
+@dataclass(frozen=True)
+class MergeInstance:
+    """An immutable collection of input key sets ``A_1, ..., A_n``.
+
+    Instances are validated at construction: there must be at least one
+    set and every set must be non-empty (an empty sstable would never be
+    produced by a memtable flush, and permitting it would make several of
+    the paper's bounds vacuous).
+    """
+
+    sets: tuple[frozenset, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sets:
+            raise InvalidInstanceError("a merge instance needs at least one set")
+        for index, s in enumerate(self.sets):
+            if not isinstance(s, frozenset):
+                raise InvalidInstanceError(
+                    f"set #{index} is {type(s).__name__}, expected frozenset; "
+                    "use MergeInstance.from_iterables()"
+                )
+            if not s:
+                raise InvalidInstanceError(f"set #{index} is empty")
+
+    @classmethod
+    def from_iterables(cls, collections: Iterable[Iterable[Key]]) -> "MergeInstance":
+        """Build an instance from any iterable of key iterables."""
+        return cls(freeze_all(collections))
+
+    @property
+    def n(self) -> int:
+        """Number of input sets."""
+        return len(self.sets)
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+    def __iter__(self):
+        return iter(self.sets)
+
+    def __getitem__(self, index: int) -> frozenset:
+        return self.sets[index]
+
+    @cached_property
+    def ground_set(self) -> frozenset:
+        """The ground set ``U`` — union of all input sets."""
+        return union_all(self.sets)
+
+    @property
+    def ground_size(self) -> int:
+        """``m = |U|``."""
+        return len(self.ground_set)
+
+    @cached_property
+    def total_input_size(self) -> int:
+        """``LOPT = sum(|A_i|)`` — the paper's lower bound on OPT (§4.1)."""
+        return sum(len(s) for s in self.sets)
+
+    @cached_property
+    def element_frequencies(self) -> dict[Key, int]:
+        """Map each ground-set element to the number of input sets containing it."""
+        counter: Counter = Counter()
+        for s in self.sets:
+            counter.update(s)
+        return dict(counter)
+
+    @cached_property
+    def max_frequency(self) -> int:
+        """``f = max_x f_x`` — the f-approximation parameter (§4.4)."""
+        return max(self.element_frequencies.values())
+
+    @cached_property
+    def is_disjoint(self) -> bool:
+        """True iff the input sets are pairwise disjoint (the Huffman case)."""
+        return self.total_input_size == self.ground_size
+
+    def sizes(self) -> tuple[int, ...]:
+        """Cardinalities of the input sets, in order."""
+        return tuple(len(s) for s in self.sets)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by examples and logs."""
+        return (
+            f"MergeInstance(n={self.n}, m={self.ground_size}, "
+            f"LOPT={self.total_input_size}, f={self.max_frequency}, "
+            f"disjoint={self.is_disjoint})"
+        )

@@ -1,0 +1,105 @@
+"""Key-set utilities shared by the merge-problem core.
+
+The paper models an sstable as a *set of keys* (Section 2, assumption 1:
+all key-value pairs have the same size, so an sstable's size is its key
+cardinality).  Throughout :mod:`repro.core` an sstable is therefore simply
+a ``frozenset`` of hashable keys; this module provides the helpers that
+keep that representation convenient and fast:
+
+* :func:`freeze` / :func:`freeze_all` — normalize arbitrary iterables of
+  keys into ``frozenset`` values.
+* :func:`union_all` — union of many sets in one pass.
+* :class:`BitsetEncoder` — a reversible encoding of key sets as Python
+  integers (one bit per distinct key).  The exact optimal solver uses this
+  to evaluate unions of arbitrary subsets of the input in O(words) with
+  ``int.__or__`` and ``int.bit_count``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import TypeVar
+
+Key = Hashable
+_T = TypeVar("_T", bound=Hashable)
+
+
+def freeze(keys: Iterable[Key]) -> frozenset:
+    """Return ``keys`` as a ``frozenset`` (no copy if already frozen)."""
+    if isinstance(keys, frozenset):
+        return keys
+    return frozenset(keys)
+
+
+def freeze_all(collections: Iterable[Iterable[Key]]) -> tuple[frozenset, ...]:
+    """Freeze every iterable in ``collections``, preserving order."""
+    return tuple(freeze(keys) for keys in collections)
+
+
+def union_all(sets: Iterable[Iterable[Key]]) -> frozenset:
+    """Return the union of all the given key sets."""
+    out: set = set()
+    for s in sets:
+        out.update(s)
+    return frozenset(out)
+
+
+class BitsetEncoder:
+    """Bidirectional mapping between key sets and integer bitsets.
+
+    Keys are assigned bit positions in first-seen order, which makes the
+    encoding deterministic for a fixed input ordering regardless of
+    ``PYTHONHASHSEED``.
+
+    Example::
+
+        enc = BitsetEncoder([{1, 2}, {2, 3}])
+        a, b = enc.encode({1, 2}), enc.encode({2, 3})
+        assert (a | b).bit_count() == 3
+    """
+
+    def __init__(self, sets: Iterable[Iterable[Key]] = ()) -> None:
+        self._positions: dict[Key, int] = {}
+        self._keys: list[Key] = []
+        for s in sets:
+            self.observe(s)
+
+    def observe(self, keys: Iterable[Key]) -> None:
+        """Register any unseen keys, assigning them fresh bit positions."""
+        positions = self._positions
+        for key in keys:
+            if key not in positions:
+                positions[key] = len(self._keys)
+                self._keys.append(key)
+
+    @property
+    def universe_size(self) -> int:
+        """Number of distinct keys registered so far."""
+        return len(self._keys)
+
+    def encode(self, keys: Iterable[Key]) -> int:
+        """Encode a key set as an integer bitset.
+
+        Unseen keys are registered on the fly so that
+        ``encode`` never fails for hashable inputs.
+        """
+        self.observe(keys)
+        positions = self._positions
+        bits = 0
+        for key in keys:
+            bits |= 1 << positions[key]
+        return bits
+
+    def decode(self, bits: int) -> frozenset:
+        """Decode an integer bitset back into the original key set."""
+        keys = self._keys
+        out = []
+        while bits:
+            low = bits & -bits
+            out.append(keys[low.bit_length() - 1])
+            bits ^= low
+        return frozenset(out)
+
+    def key_at(self, position: int) -> Key:
+        """Return the key assigned to bit ``position``."""
+        return self._keys[position]

@@ -1,0 +1,197 @@
+"""Minor compaction: the K-slot sstable-stack problem (related work).
+
+The paper's related work contrasts its *major* compaction with the
+*minor* compaction problem studied by Mathieu, Staelin and Young
+("K-slot sstable stack compaction", arXiv:1407.3008): the memtable
+flushes a new sstable every interval, at most ``k_slots`` sstables may
+exist after each interval, and each interval the system may merge the
+*newest* runs (a suffix of the stack) to stay within the bound.  The
+objective is the total size of merged output written over the run —
+the same disk-I/O currency as the major-compaction cost function.
+
+This module implements that setting over the paper's size model
+(disjoint arrivals, so a merged run's size is the sum of its inputs):
+
+* :func:`simulate_minor` — drive an arrival sequence through a policy,
+  enforcing the slot bound and charging each merge its output size.
+* Online policies — :class:`MergeAllPolicy` (Bigtable-style collapse),
+  :class:`TieredPolicy` (merge the minimal suffix, then restore the
+  geometric ordering of run sizes, Lazy-Leveling style).
+* :func:`offline_optimal_minor` — exact DP over stack configurations
+  (suffix merges preserve contiguity, so a stack is a composition of
+  the arrival prefix into at most ``k_slots`` segments).
+
+The module exists to make the paper's "our problem is different"
+comparison executable: benches contrast minor-compaction write cost
+with one-shot major compaction over the same arrivals.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Sequence
+
+from ..errors import InvalidInstanceError
+
+Stack = tuple[int, ...]  # run sizes, oldest first (top of stack = last)
+
+
+@dataclass(frozen=True)
+class MinorMerge:
+    """One merge event: the newest ``runs_merged`` runs became one."""
+
+    interval: int
+    runs_merged: int
+    output_size: int
+
+
+@dataclass
+class MinorRunResult:
+    """Outcome of simulating a policy over an arrival sequence."""
+
+    total_cost: int
+    final_stack: Stack
+    merges: list[MinorMerge] = field(default_factory=list)
+    max_depth: int = 0
+
+    @property
+    def n_merges(self) -> int:
+        return len(self.merges)
+
+
+class MinorPolicy(ABC):
+    """Decides how many newest runs to merge after each arrival."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def suffix_to_merge(self, stack: Stack, k_slots: int) -> int:
+        """Number of newest runs to merge (0 or >= 2).
+
+        Called repeatedly within an interval until it returns 0 *and*
+        the stack depth is within ``k_slots``; returning 0 while over
+        the bound is a policy error.
+        """
+
+
+class MergeAllPolicy(MinorPolicy):
+    """Collapse the whole stack whenever the slot bound is exceeded.
+
+    The Bigtable-style threshold scheme the paper's related work
+    describes: cheap bookkeeping, but it rewrites the oldest data every
+    time the bound trips.
+    """
+
+    name = "merge_all"
+
+    def suffix_to_merge(self, stack: Stack, k_slots: int) -> int:
+        if len(stack) > k_slots:
+            return len(stack)
+        return 0
+
+
+class TieredPolicy(MinorPolicy):
+    """Merge the minimal suffix; keep run sizes geometrically ordered.
+
+    When over the bound, merge the two newest runs; additionally merge
+    whenever the newest run has grown to at least ``ratio`` times...
+    rather: while the newest run is at least as large as the one below
+    it, merge them (so the stack stays strictly decreasing in size,
+    like the size-tiered/binomial-counter schemes NoSQL stores use).
+    """
+
+    name = "tiered"
+
+    def suffix_to_merge(self, stack: Stack, k_slots: int) -> int:
+        if len(stack) >= 2 and stack[-1] >= stack[-2]:
+            return 2
+        if len(stack) > k_slots:
+            return 2
+        return 0
+
+
+def simulate_minor(
+    arrivals: Sequence[int],
+    policy: MinorPolicy,
+    k_slots: int,
+) -> MinorRunResult:
+    """Run ``arrivals`` through ``policy`` under the ``k_slots`` bound."""
+    if k_slots < 1:
+        raise InvalidInstanceError("k_slots must be at least 1")
+    if any(size < 1 for size in arrivals):
+        raise InvalidInstanceError("arrival sizes must be positive")
+
+    stack: list[int] = []
+    result = MinorRunResult(total_cost=0, final_stack=())
+    for interval, size in enumerate(arrivals):
+        stack.append(size)
+        result.max_depth = max(result.max_depth, len(stack))
+        while True:
+            suffix = policy.suffix_to_merge(tuple(stack), k_slots)
+            if suffix == 0:
+                break
+            if suffix < 2 or suffix > len(stack):
+                raise InvalidInstanceError(
+                    f"policy {policy.name!r} returned invalid suffix {suffix}"
+                )
+            merged = sum(stack[-suffix:])
+            del stack[-suffix:]
+            stack.append(merged)
+            result.total_cost += merged
+            result.merges.append(
+                MinorMerge(interval=interval, runs_merged=suffix, output_size=merged)
+            )
+        if len(stack) > k_slots:
+            raise InvalidInstanceError(
+                f"policy {policy.name!r} left {len(stack)} runs (bound {k_slots})"
+            )
+    result.final_stack = tuple(stack)
+    return result
+
+
+def offline_optimal_minor(arrivals: Sequence[int], k_slots: int) -> int:
+    """Exact minimum total merge cost for the K-slot problem.
+
+    Because only suffixes merge, every run is a contiguous segment of
+    arrivals and the stack after interval ``t`` is a composition of
+    ``arrivals[:t+1]`` into at most ``k_slots`` segments (oldest
+    first).  The DP walks intervals, branching on how much of the
+    suffix the new arrival absorbs.  Exponential in ``k_slots`` but
+    comfortably exact for the test/bench sizes (n <= ~18, k <= 4).
+    """
+    if k_slots < 1:
+        raise InvalidInstanceError("k_slots must be at least 1")
+    arrivals = tuple(arrivals)
+    if not arrivals:
+        return 0
+    if any(size < 1 for size in arrivals):
+        raise InvalidInstanceError("arrival sizes must be positive")
+    n = len(arrivals)
+
+    @lru_cache(maxsize=None)
+    def best(t: int, stack: Stack) -> int:
+        """Min future cost given interval ``t`` arrives onto ``stack``."""
+        outcomes = []
+        # Option: push the arrival as its own run (if a slot is free),
+        # or merge it with the newest j runs (cost = merged size).
+        candidates: list[tuple[Stack, int]] = []
+        pushed = stack + (arrivals[t],)
+        if len(pushed) <= k_slots:
+            candidates.append((pushed, 0))
+        for j in range(1, len(stack) + 1):
+            merged = sum(stack[-j:]) + arrivals[t]
+            candidate = stack[:-j] + (merged,)
+            if len(candidate) <= k_slots:
+                candidates.append((candidate, merged))
+        for next_stack, cost in candidates:
+            if t + 1 == n:
+                outcomes.append(cost)
+            else:
+                outcomes.append(cost + best(t + 1, next_stack))
+        return min(outcomes)
+
+    answer = best(0, ())
+    best.cache_clear()
+    return answer

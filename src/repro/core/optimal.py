@@ -1,0 +1,264 @@
+"""Exact optimal merge schedules for small instances.
+
+The paper proves BINARYMERGING NP-hard and, for its Figure 8, falls back
+to the lower bound ``LOPT`` because "extensively searching all
+permutations of merge schedules ... is prohibitive".  For *small* n an
+exact optimum is computable, and this module provides it so the test
+suite and ablation benches can measure true approximation ratios:
+
+* :func:`optimal_merge` — subset dynamic program for ``k = 2``:
+  ``opt(S) = f(union(S)) + min over proper splits (opt(L) + opt(S - L))``
+  evaluated over integer bitmasks with unions encoded as bitsets.
+  Time O(3^n) plus O(2^n) union evaluations — practical to n ≈ 14.
+* :func:`optimal_merge_kway` — the K-WAYMERGING generalization: the top
+  merge partitions ``S`` into 2..k parts, each recursively optimal.
+* :func:`enumerate_schedules` — brute-force enumeration of every
+  schedule shape (used to cross-validate the DP on tiny n).
+
+All optima are for the *simplified* cost (eq. 2.1); the returned
+schedule can be replayed under any cost function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import combinations
+from typing import Iterator, Optional
+
+from ..errors import InvalidInstanceError
+from .cost import DEFAULT_COST, MergeCostFunction
+from .instance import MergeInstance
+from .keyset import BitsetEncoder
+from .schedule import MergeSchedule, MergeStep
+
+_MAX_EXACT_N = 18  # hard safety cap; 3^18 is already ~387e6 split checks
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """An optimal schedule and its simplified cost."""
+
+    cost: float
+    schedule: MergeSchedule
+
+
+def _encode_sets(instance: MergeInstance) -> list[int]:
+    encoder = BitsetEncoder(instance.sets)
+    return [encoder.encode(keys) for keys in instance.sets]
+
+
+def _union_values(
+    instance: MergeInstance, cost_fn: MergeCostFunction
+) -> list[float]:
+    """``f(union of sets in mask)`` for every non-empty mask."""
+    n = instance.n
+    set_bits = _encode_sets(instance)
+    unions = [0] * (1 << n)
+    for mask in range(1, 1 << n):
+        low = mask & -mask
+        unions[mask] = unions[mask ^ low] | set_bits[low.bit_length() - 1]
+    if isinstance(cost_fn, type(DEFAULT_COST)) and cost_fn.name == "cardinality":
+        return [float(bits.bit_count()) for bits in unions]
+    encoder = BitsetEncoder(instance.sets)
+    return [
+        cost_fn.of(encoder.decode(bits)) if mask else 0.0
+        for mask, bits in enumerate(unions)
+    ]
+
+
+def _check_size(instance: MergeInstance) -> None:
+    if instance.n > _MAX_EXACT_N:
+        raise InvalidInstanceError(
+            f"exact solver supports n <= {_MAX_EXACT_N}; got n = {instance.n}. "
+            "Use the greedy policies for larger instances."
+        )
+
+
+def optimal_merge(
+    instance: MergeInstance, cost_fn: MergeCostFunction = DEFAULT_COST
+) -> OptimalResult:
+    """Exact optimum of BINARYMERGING (``k = 2``) via subset DP."""
+    _check_size(instance)
+    n = instance.n
+    values = _union_values(instance, cost_fn)
+    if n == 1:
+        return OptimalResult(values[1], MergeSchedule(1, ()))
+
+    full = (1 << n) - 1
+    opt = [0.0] * (1 << n)
+    best_split = [0] * (1 << n)
+    masks_by_popcount: list[list[int]] = [[] for _ in range(n + 1)]
+    for mask in range(1, full + 1):
+        masks_by_popcount[mask.bit_count()].append(mask)
+
+    for mask in masks_by_popcount[1]:
+        opt[mask] = values[mask]
+
+    for size in range(2, n + 1):
+        for mask in masks_by_popcount[size]:
+            # Anchor the split on the lowest set bit so each unordered
+            # partition {L, R} is enumerated exactly once.
+            low = mask & -mask
+            rest = mask ^ low
+            best = None
+            best_sub = 0
+            sub = rest
+            while True:
+                left = sub | low
+                right = mask ^ left
+                if right:
+                    candidate = opt[left] + opt[right]
+                    if best is None or candidate < best:
+                        best = candidate
+                        best_sub = left
+                if sub == 0:
+                    break
+                sub = (sub - 1) & rest
+            opt[mask] = values[mask] + best  # type: ignore[operator]
+            best_split[mask] = best_sub
+
+    steps: list[MergeStep] = []
+    next_id = n
+
+    def build(mask: int) -> int:
+        nonlocal next_id
+        if mask.bit_count() == 1:
+            return mask.bit_length() - 1
+        left = best_split[mask]
+        right = mask ^ left
+        left_id = build(left)
+        right_id = build(right)
+        output = next_id
+        next_id += 1
+        steps.append(MergeStep((left_id, right_id), output))
+        return output
+
+    build(full)
+    return OptimalResult(opt[full], MergeSchedule(n, steps))
+
+
+def optimal_merge_kway(
+    instance: MergeInstance,
+    k: int,
+    cost_fn: MergeCostFunction = DEFAULT_COST,
+) -> OptimalResult:
+    """Exact optimum of K-WAYMERGING via partition DP (small n only)."""
+    if k < 2:
+        raise InvalidInstanceError(f"k must be at least 2, got {k}")
+    _check_size(instance)
+    n = instance.n
+    values = _union_values(instance, cost_fn)
+    if n == 1:
+        return OptimalResult(values[1], MergeSchedule(1, ()))
+    full = (1 << n) - 1
+
+    @lru_cache(maxsize=None)
+    def opt(mask: int) -> float:
+        if mask.bit_count() == 1:
+            return values[mask]
+        return values[mask] + split(mask, k)
+
+    @lru_cache(maxsize=None)
+    def split(mask: int, parts: int) -> float:
+        """Min total opt over partitions of mask into 2..parts groups."""
+        low = mask & -mask
+        rest = mask ^ low
+        best = float("inf")
+        sub = rest
+        while True:
+            first = sub | low
+            remainder = mask ^ first
+            if remainder:
+                tail = (
+                    opt(remainder)
+                    if parts <= 2
+                    else min(opt(remainder), split(remainder, parts - 1))
+                )
+                candidate = opt(first) + tail
+                if candidate < best:
+                    best = candidate
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        return best
+
+    total = opt(full)
+
+    # Reconstruct the schedule by re-deriving the argmins (cheap: cached).
+    steps: list[MergeStep] = []
+    next_id = n
+
+    def partition_of(mask: int, parts: int) -> list[int]:
+        low = mask & -mask
+        rest = mask ^ low
+        target = split(mask, parts)
+        sub = rest
+        while True:
+            first = sub | low
+            remainder = mask ^ first
+            if remainder:
+                if parts > 2 and abs(opt(first) + split(remainder, parts - 1) - target) < 1e-9:
+                    return [first, *partition_of(remainder, parts - 1)]
+                if abs(opt(first) + opt(remainder) - target) < 1e-9:
+                    return [first, remainder]
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        raise AssertionError("partition reconstruction failed")  # pragma: no cover
+
+    def build(mask: int) -> int:
+        nonlocal next_id
+        if mask.bit_count() == 1:
+            return mask.bit_length() - 1
+        parts = partition_of(mask, k)
+        inputs = tuple(build(part) for part in parts)
+        output = next_id
+        next_id += 1
+        steps.append(MergeStep(inputs, output))
+        return output
+
+    build(full)
+    opt.cache_clear()
+    split.cache_clear()
+    return OptimalResult(total, MergeSchedule(n, steps))
+
+
+def enumerate_schedules(n: int, k: int = 2) -> Iterator[MergeSchedule]:
+    """Yield every merge schedule over ``n`` tables with fan-in <= ``k``.
+
+    Exponential — intended for cross-validating the DP on ``n <= 6``.
+    Schedules that differ only in the interleaving of independent merges
+    are all produced (they have equal cost, so this only affects count).
+    """
+    if n < 1:
+        raise InvalidInstanceError("n must be positive")
+
+    def recurse(live: tuple[int, ...], next_id: int, steps: tuple[MergeStep, ...]):
+        if len(live) == 1:
+            yield MergeSchedule(n, steps)
+            return
+        max_arity = min(k, len(live))
+        for arity in range(2, max_arity + 1):
+            for combo in combinations(live, arity):
+                remaining = tuple(t for t in live if t not in combo) + (next_id,)
+                yield from recurse(
+                    remaining, next_id + 1, steps + (MergeStep(combo, next_id),)
+                )
+
+    yield from recurse(tuple(range(n)), n, ())
+
+
+def brute_force_optimal(
+    instance: MergeInstance,
+    k: int = 2,
+    cost_fn: MergeCostFunction = DEFAULT_COST,
+) -> OptimalResult:
+    """Minimum simplified cost over *all* schedules (tiny n only)."""
+    best: Optional[OptimalResult] = None
+    for schedule in enumerate_schedules(instance.n, k):
+        cost = schedule.replay(instance, cost_fn).simplified_cost
+        if best is None or cost < best.cost:
+            best = OptimalResult(cost, schedule)
+    assert best is not None
+    return best

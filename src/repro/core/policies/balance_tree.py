@@ -1,0 +1,178 @@
+"""BALANCETREE (BT) heuristic — paper §4.3.1 and §5.1.
+
+Every table is annotated with a level number, initially 1.  Each
+iteration merges tables whose level equals the current minimum level
+``minL``; the merged output gets level ``minL + 1``.  If only one table
+remains at ``minL`` its level is incremented and the search retries.
+The resulting merge tree has height ``ceil(log2 n)``, giving the
+``(ceil(log2 n) + 1)``-approximation of Lemma 4.1.
+
+The paper leaves the order of merges *within* a level unspecified; §5.1
+evaluates two sub-orders, both available here:
+
+* ``suborder="input"`` — BT(I): take the smallest-cardinality tables at
+  the level (the paper's best-overall strategy).
+* ``suborder="output"`` — BT(O): take the combination with the smallest
+  estimated union.  Estimates use HyperLogLog by default; as §5.1 notes,
+  the estimation overhead is amortized because a level's combination
+  cache is computed once when the level is entered and only shrinks as
+  the level is consumed (merged outputs always join the *next* level).
+* ``suborder="arrival"`` — first-come pairing (the unconstrained variant
+  of §4.3.1).
+
+Because merges within one level touch disjoint tables, the executor can
+run them concurrently — the reason BT(I) finishes fastest in Figure 7b.
+The per-step levels are exposed via :meth:`extras` for schedulers.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from ...errors import PolicyError
+from ...hll import HyperLogLog
+from .base import ChoosePolicy, GreedyState, pick_smallest, register_policy
+
+_SUBORDERS = ("arrival", "input", "output")
+
+
+@register_policy("balance_tree", "bt")
+class BalanceTreePolicy(ChoosePolicy):
+    """Level-balanced merging with a configurable within-level sub-order."""
+
+    name = "balance_tree"
+
+    def __init__(
+        self,
+        suborder: str = "input",
+        estimator: str = "hll",
+        hll_precision: int = 12,
+        hll_seed: int = 0,
+    ) -> None:
+        if suborder not in _SUBORDERS:
+            raise PolicyError(f"suborder must be one of {_SUBORDERS}, got {suborder!r}")
+        if estimator not in ("exact", "hll"):
+            raise PolicyError(f"estimator must be 'exact' or 'hll', got {estimator!r}")
+        self.suborder = suborder
+        self.estimator = estimator
+        self.hll_precision = hll_precision
+        self.hll_seed = hll_seed
+        self._levels: dict[int, int] = {}
+        self._sketches: dict[int, HyperLogLog] = {}
+        self._cache: dict[tuple[int, ...], float] = {}
+        self._cache_level: Optional[int] = None
+        self._cache_arity: Optional[int] = None
+        self._last_min_level = 1
+        self._step_levels: list[int] = []
+
+    # ------------------------------------------------------------------
+    def prepare(self, state: GreedyState) -> None:
+        self._levels = {table_id: 1 for table_id in state.live}
+        self._step_levels = []
+        self._cache = {}
+        self._cache_level = None
+        if self.suborder == "output" and self.estimator == "hll":
+            self._sketches = {
+                table_id: HyperLogLog.of(
+                    keys, precision=self.hll_precision, seed=self.hll_seed
+                )
+                for table_id, keys in state.live.items()
+            }
+
+    def _estimate_union(self, state: GreedyState, combo: tuple[int, ...]) -> float:
+        if self.estimator == "hll":
+            first, *rest = combo
+            return self._sketches[first].union_cardinality(
+                *(self._sketches[table_id] for table_id in rest)
+            )
+        union: set = set()
+        for table_id in combo:
+            union.update(state.live[table_id])
+        return float(len(union))
+
+    def _level_candidates(self, state: GreedyState) -> tuple[int, list[int]]:
+        """Find ``minL`` and its tables, promoting lone stragglers (§4.3.1)."""
+        levels = self._levels
+        while True:
+            min_level = min(levels[table_id] for table_id in state.live)
+            candidates = [
+                table_id for table_id in state.live if levels[table_id] == min_level
+            ]
+            if len(candidates) >= 2:
+                return min_level, sorted(candidates)
+            levels[candidates[0]] += 1
+
+    def choose(self, state: GreedyState) -> tuple[int, ...]:
+        min_level, candidates = self._level_candidates(state)
+        self._last_min_level = min_level
+        arity = min(state.arity_for_next_merge(), len(candidates))
+        if self.suborder == "arrival":
+            return tuple(candidates[:arity])
+        if self.suborder == "input":
+            return pick_smallest(state, candidates, arity)
+        # suborder == "output": per-level combination cache (amortized).
+        if (
+            self._cache_level != min_level
+            or self._cache_arity != arity
+            or not self._cache
+        ):
+            self._cache_level = min_level
+            self._cache_arity = arity
+            self._cache = {
+                combo: self._estimate_union(state, combo)
+                for combo in combinations(candidates, arity)
+            }
+        return min(self._cache, key=lambda combo: (self._cache[combo], combo))
+
+    def observe_merge(
+        self, state: GreedyState, consumed: tuple[int, ...], new_id: int
+    ) -> None:
+        for table_id in consumed:
+            del self._levels[table_id]
+        self._levels[new_id] = self._last_min_level + 1
+        self._step_levels.append(self._last_min_level)
+        if self.suborder == "output":
+            dead = set(consumed)
+            self._cache = {
+                combo: value
+                for combo, value in self._cache.items()
+                if dead.isdisjoint(combo)
+            }
+            if self.estimator == "hll":
+                merged = self._sketches[consumed[0]].union(
+                    *(self._sketches[table_id] for table_id in consumed[1:])
+                )
+                for table_id in consumed:
+                    del self._sketches[table_id]
+                self._sketches[new_id] = merged
+
+    def extras(self) -> dict:
+        return {"step_levels": tuple(self._step_levels), "suborder": self.suborder}
+
+
+@register_policy("balance_tree_input", "bt(i)", "bt_i", "bti")
+class BalanceTreeInputPolicy(BalanceTreePolicy):
+    """BT(I): BALANCETREE choosing the smallest inputs per level (§5.1)."""
+
+    name = "balance_tree_input"
+
+    def __init__(self) -> None:
+        super().__init__(suborder="input")
+
+
+@register_policy("balance_tree_output", "bt(o)", "bt_o", "bto")
+class BalanceTreeOutputPolicy(BalanceTreePolicy):
+    """BT(O): BALANCETREE choosing the smallest estimated union per level."""
+
+    name = "balance_tree_output"
+
+    def __init__(
+        self, estimator: str = "hll", hll_precision: int = 12, hll_seed: int = 0
+    ) -> None:
+        super().__init__(
+            suborder="output",
+            estimator=estimator,
+            hll_precision=hll_precision,
+            hll_seed=hll_seed,
+        )

@@ -1,0 +1,81 @@
+"""LARGESTMATCH (LM) heuristic — paper §4.3.4.
+
+Each iteration merges the two live tables with the *largest
+intersection* (the idea behind DataStax's cardinality-aware compaction
+proposal the paper cites).  The paper shows its worst case is Omega(n):
+on ``A_i = {1..2^(i-1)}`` LM repeatedly drags the largest table into
+every merge (see :mod:`repro.core.adversarial`).
+
+For ``k > 2`` we generalize greedily: start from the best pair, then
+repeatedly add the live table with the largest intersection with the
+running union until ``k`` tables are selected.  (The paper defines LM
+for pairs only; this extension is our own and is flagged as such in
+DESIGN.md.)
+
+Ties break by creation order, consistent with the other policies.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from .base import ChoosePolicy, GreedyState, register_policy
+
+_Pair = tuple[int, int]
+
+
+@register_policy("largest_match", "lm")
+class LargestMatchPolicy(ChoosePolicy):
+    """Merge the tables with the largest pairwise intersection."""
+
+    name = "largest_match"
+
+    def __init__(self) -> None:
+        self._intersections: dict[_Pair, int] = {}
+
+    def prepare(self, state: GreedyState) -> None:
+        live = state.live
+        self._intersections = {
+            (a, b): len(live[a] & live[b])
+            for a, b in combinations(sorted(live), 2)
+        }
+
+    def _best_pair(self) -> _Pair:
+        # max intersection; ties resolved toward the earliest-created pair
+        return min(
+            self._intersections,
+            key=lambda pair: (-self._intersections[pair], pair),
+        )
+
+    def choose(self, state: GreedyState) -> tuple[int, ...]:
+        arity = state.arity_for_next_merge()
+        first, second = self._best_pair()
+        chosen = [first, second]
+        if arity > 2:
+            union = set(state.live[first]) | state.live[second]
+            remaining = set(state.live) - set(chosen)
+            while len(chosen) < arity and remaining:
+                best = min(
+                    remaining,
+                    key=lambda table_id: (-len(union & state.live[table_id]), table_id),
+                )
+                chosen.append(best)
+                union |= state.live[best]
+                remaining.discard(best)
+        return tuple(chosen)
+
+    def observe_merge(
+        self, state: GreedyState, consumed: tuple[int, ...], new_id: int
+    ) -> None:
+        dead = set(consumed)
+        self._intersections = {
+            pair: value
+            for pair, value in self._intersections.items()
+            if dead.isdisjoint(pair)
+        }
+        new_set = state.live[new_id]
+        for table_id, keys in state.live.items():
+            if table_id == new_id:
+                continue
+            pair = (table_id, new_id) if table_id < new_id else (new_id, table_id)
+            self._intersections[pair] = len(new_set & keys)

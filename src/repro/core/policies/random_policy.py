@@ -1,0 +1,28 @@
+"""RANDOM strawman — paper §5.1 strategy 5.
+
+Merges ``k`` uniformly random live tables each iteration, representing
+the absence of any compaction strategy.  The paper uses it as the
+baseline that every heuristic must beat (and shows it converging to the
+heuristics' cost only when sstables overlap heavily, i.e. at high update
+percentages).
+
+Randomness comes from the :class:`~repro.core.greedy.GreedyMerger`'s
+seeded RNG, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from .base import ChoosePolicy, GreedyState, register_policy
+
+
+@register_policy("random", "rand")
+class RandomPolicy(ChoosePolicy):
+    """Merge ``k`` uniformly random live tables each iteration."""
+
+    name = "random"
+
+    def choose(self, state: GreedyState) -> tuple[int, ...]:
+        arity = state.arity_for_next_merge()
+        # sorted() gives a deterministic candidate order; the RNG then
+        # makes the selection reproducible for a fixed seed.
+        return tuple(state.rng.sample(sorted(state.live), arity))

@@ -1,0 +1,60 @@
+"""SMALLESTINPUT (SI) heuristic — paper §4.3.2.
+
+Each iteration merges the ``k`` live tables of smallest cardinality,
+deferring large tables to reduce their recurring contribution to the
+cost.  The implementation matches §5.1's description: a priority queue
+gives O(log n) work per iteration.  Ties break by creation order (table
+id), which reproduces the paper's worked example exactly.
+
+For ``k > 2`` the number of merge steps depends on how the final
+deficiency is handled.  Like optimal k-ary Huffman coding, merging
+``2 + (n - 2) mod (k - 1)`` tables *first* makes every later merge use
+full fan-in ``k``; pass ``pad_first_merge=True`` to enable this (an
+ablation studied in ``benchmarks/test_bench_kway.py``).  The default
+(``False``) mirrors the paper: always take ``min(k, live)`` tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .base import ChoosePolicy, GreedyState, register_policy
+
+
+@register_policy("smallest_input", "si")
+class SmallestInputPolicy(ChoosePolicy):
+    """Merge the ``k`` smallest-cardinality live tables each iteration."""
+
+    name = "smallest_input"
+
+    def __init__(self, pad_first_merge: bool = False) -> None:
+        self._heap: list[tuple[int, int]] = []
+        self._pad_first_merge = pad_first_merge
+        self._first_arity: int | None = None
+
+    def prepare(self, state: GreedyState) -> None:
+        self._heap = [(size, table_id) for table_id, size in state.sizes.items()]
+        heapq.heapify(self._heap)
+        self._first_arity = None
+        if self._pad_first_merge and state.k > 2 and state.n_live > state.k:
+            deficiency = (state.n_live - 2) % (state.k - 1)
+            self._first_arity = 2 + deficiency
+
+    def choose(self, state: GreedyState) -> tuple[int, ...]:
+        arity = state.arity_for_next_merge()
+        if self._first_arity is not None:
+            arity = min(self._first_arity, arity)
+            self._first_arity = None
+        live = state.live
+        chosen: list[int] = []
+        while len(chosen) < arity:
+            # Lazy deletion: consumed tables linger in the heap until popped.
+            size, table_id = heapq.heappop(self._heap)
+            if table_id in live:
+                chosen.append(table_id)
+        return tuple(chosen)
+
+    def observe_merge(
+        self, state: GreedyState, consumed: tuple[int, ...], new_id: int
+    ) -> None:
+        heapq.heappush(self._heap, (state.sizes[new_id], new_id))

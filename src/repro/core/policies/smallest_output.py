@@ -1,0 +1,136 @@
+"""SMALLESTOUTPUT (SO) heuristic — paper §4.3.3 and §5.1.
+
+Each iteration merges the combination of ``k`` live tables whose *union*
+has the smallest cardinality.  Two estimators are provided:
+
+* ``estimator="exact"`` — materialize candidate unions (reference
+  implementation; O(n^k) set work, fine for tests and small n).
+* ``estimator="hll"`` — the paper's practical scheme: per-table
+  HyperLogLog sketches, union estimated by register-wise max.  The
+  combination cache is maintained incrementally exactly as described in
+  §5.1: after a merge consuming ``k`` tables, estimates not involving
+  them are reused and only the ``C(n - k, k - 1)`` combinations that
+  contain the new table are estimated.
+
+Ties break on (cardinality, combination ids), i.e. by creation order,
+which reproduces the worked example (cost 40 on the 5-set instance).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from ...errors import PolicyError
+from ...hll import HyperLogLog
+from .base import ChoosePolicy, GreedyState, register_policy
+
+_EstimateKey = tuple[int, ...]
+
+
+@register_policy("smallest_output", "so")
+class SmallestOutputPolicy(ChoosePolicy):
+    """Merge the combination of live tables with the smallest union."""
+
+    name = "smallest_output"
+
+    def __init__(
+        self,
+        estimator: str = "exact",
+        hll_precision: int = 12,
+        hll_seed: int = 0,
+    ) -> None:
+        if estimator not in ("exact", "hll"):
+            raise PolicyError(
+                f"estimator must be 'exact' or 'hll', got {estimator!r}"
+            )
+        self.estimator = estimator
+        self.hll_precision = hll_precision
+        self.hll_seed = hll_seed
+        self._estimates: dict[_EstimateKey, float] = {}
+        self._sketches: dict[int, HyperLogLog] = {}
+        self._arity: Optional[int] = None
+        self.estimate_calls = 0  # exposed for overhead accounting/tests
+
+    # ------------------------------------------------------------------
+    def _estimate(self, state: GreedyState, combo: _EstimateKey) -> float:
+        self.estimate_calls += 1
+        if self.estimator == "hll":
+            first, *rest = combo
+            return self._sketches[first].union_cardinality(
+                *(self._sketches[table_id] for table_id in rest)
+            )
+        union: set = set()
+        for table_id in combo:
+            union.update(state.live[table_id])
+        return float(len(union))
+
+    def _fill_cache(self, state: GreedyState, arity: int) -> None:
+        self._arity = arity
+        self._estimates = {
+            combo: self._estimate(state, combo)
+            for combo in combinations(sorted(state.live), arity)
+        }
+
+    # ------------------------------------------------------------------
+    def prepare(self, state: GreedyState) -> None:
+        if self.estimator == "hll":
+            self._sketches = {
+                table_id: HyperLogLog.of(
+                    keys, precision=self.hll_precision, seed=self.hll_seed
+                )
+                for table_id, keys in state.live.items()
+            }
+        self._fill_cache(state, state.arity_for_next_merge())
+
+    def choose(self, state: GreedyState) -> tuple[int, ...]:
+        arity = state.arity_for_next_merge()
+        if arity != self._arity:
+            # The final merge may have fewer than k live tables; rebuild
+            # the cache at the reduced arity.
+            self._fill_cache(state, arity)
+        best_combo = min(
+            self._estimates, key=lambda combo: (self._estimates[combo], combo)
+        )
+        return best_combo
+
+    def observe_merge(
+        self, state: GreedyState, consumed: tuple[int, ...], new_id: int
+    ) -> None:
+        dead = set(consumed)
+        self._estimates = {
+            combo: estimate
+            for combo, estimate in self._estimates.items()
+            if dead.isdisjoint(combo)
+        }
+        if self.estimator == "hll":
+            # Register-wise max is lossless for unions, so the new
+            # table's sketch is exact relative to its inputs' sketches.
+            merged = self._sketches[consumed[0]].union(
+                *(self._sketches[table_id] for table_id in consumed[1:])
+            )
+            for table_id in consumed:
+                del self._sketches[table_id]
+            self._sketches[new_id] = merged
+        arity = self._arity or 2
+        others = [table_id for table_id in state.live if table_id != new_id]
+        if len(others) + 1 < arity:
+            return
+        for subset in combinations(sorted(others), arity - 1):
+            combo = tuple(sorted((*subset, new_id)))
+            self._estimates[combo] = self._estimate(state, combo)
+
+    def extras(self) -> dict:
+        return {"estimate_calls": self.estimate_calls, "estimator": self.estimator}
+
+
+@register_policy("smallest_output_hll", "so_hll", "so(hll)")
+class SmallestOutputHllPolicy(SmallestOutputPolicy):
+    """Convenience registration of SO with the HLL estimator (§5.1)."""
+
+    name = "smallest_output_hll"
+
+    def __init__(self, hll_precision: int = 12, hll_seed: int = 0) -> None:
+        super().__init__(
+            estimator="hll", hll_precision=hll_precision, hll_seed=hll_seed
+        )

@@ -1,0 +1,269 @@
+"""Executable merge schedules.
+
+A :class:`MergeSchedule` is the operational view of a merge tree: an
+ordered sequence of merge operations over *table ids*.  Ids ``0..n-1``
+denote the initial sstables; the output of step ``j`` gets id ``n + j``.
+Schedules are what the greedy policies produce, what the LSM compaction
+executor replays against real sstables, and what converts losslessly to
+and from :class:`~repro.core.tree.MergeTree` + leaf assignment.
+
+:meth:`MergeSchedule.replay` symbolically executes a schedule over a
+:class:`~repro.core.instance.MergeInstance` and reports every cost metric
+from the paper (eq. 2.1 simplified, costactual, submodular) in one pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import InvalidScheduleError
+from .cost import DEFAULT_COST, MergeCostFunction
+from .instance import MergeInstance
+from .tree import MergeNode, MergeTree
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """One merge operation: read tables ``inputs``, write table ``output``."""
+
+    inputs: tuple[int, ...]
+    output: int
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) < 2:
+            raise InvalidScheduleError(
+                f"merge step producing table {self.output} has "
+                f"{len(self.inputs)} input(s); at least 2 are required"
+            )
+        if len(set(self.inputs)) != len(self.inputs):
+            raise InvalidScheduleError(
+                f"merge step producing table {self.output} lists a duplicate input"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.inputs)
+
+
+@dataclass(frozen=True)
+class ScheduleReplay:
+    """Result of symbolically executing a schedule over an instance."""
+
+    tables: dict[int, frozenset]
+    final_id: int
+    simplified_cost: float
+    actual_cost: float
+    submodular_cost: float
+    step_output_costs: tuple[float, ...]
+
+    @property
+    def final_set(self) -> frozenset:
+        return self.tables[self.final_id]
+
+
+class MergeSchedule:
+    """An ordered sequence of merge steps reducing ``n_initial`` tables to one."""
+
+    def __init__(self, n_initial: int, steps: Iterable[MergeStep]) -> None:
+        self.n_initial = n_initial
+        self.steps: tuple[MergeStep, ...] = tuple(steps)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_input_groups(
+        cls, n_initial: int, groups: Iterable[Sequence[int]]
+    ) -> "MergeSchedule":
+        """Build a schedule from input-id groups; output ids are implied."""
+        steps = []
+        next_id = n_initial
+        for group in groups:
+            steps.append(MergeStep(tuple(group), next_id))
+            next_id += 1
+        return cls(n_initial, steps)
+
+    @classmethod
+    def from_tree(
+        cls,
+        tree: MergeTree,
+        assignment: Optional[Sequence[int]] = None,
+    ) -> "MergeSchedule":
+        """Convert a merge tree (+ leaf assignment) into a schedule.
+
+        Steps are emitted in post-order, which guarantees inputs exist
+        before they are consumed.
+        """
+        assignment = tree.resolve_assignment(assignment)
+        n = tree.n_leaves
+        table_of: dict[int, int] = {}
+        steps: list[MergeStep] = []
+        next_id = n
+        for node in tree.postorder():
+            if node.is_leaf:
+                table_of[node.uid] = assignment[node.leaf_position]
+            else:
+                inputs = tuple(table_of[child.uid] for child in node.children)
+                steps.append(MergeStep(inputs, next_id))
+                table_of[node.uid] = next_id
+                next_id += 1
+        return cls(n, steps)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    def max_arity(self) -> int:
+        """Largest fan-in used by any step (1 for an empty schedule)."""
+        return max((step.arity for step in self.steps), default=1)
+
+    @property
+    def final_id(self) -> int:
+        """Id of the table every schedule leaves behind."""
+        if not self.steps:
+            return 0
+        return self.steps[-1].output
+
+    def validate(self, max_inputs: Optional[int] = None) -> None:
+        """Check the schedule is executable; raise :class:`InvalidScheduleError`.
+
+        Rules: initial ids are ``0..n-1``; step ``j`` outputs id ``n+j``;
+        every input must be live (created and not yet consumed); exactly
+        one table remains at the end; optional fan-in cap ``max_inputs``.
+        """
+        n = self.n_initial
+        if n < 1:
+            raise InvalidScheduleError("schedule needs at least one initial table")
+        if n == 1:
+            if self.steps:
+                raise InvalidScheduleError("a single table requires an empty schedule")
+            return
+        live = set(range(n))
+        for index, step in enumerate(self.steps):
+            expected = n + index
+            if step.output != expected:
+                raise InvalidScheduleError(
+                    f"step #{index} outputs id {step.output}, expected {expected}"
+                )
+            if max_inputs is not None and step.arity > max_inputs:
+                raise InvalidScheduleError(
+                    f"step #{index} merges {step.arity} tables, cap is {max_inputs}"
+                )
+            for table_id in step.inputs:
+                if table_id not in live:
+                    raise InvalidScheduleError(
+                        f"step #{index} reads table {table_id}, which is not live"
+                    )
+            live.difference_update(step.inputs)
+            live.add(step.output)
+        if len(live) != 1:
+            raise InvalidScheduleError(
+                f"schedule leaves {len(live)} tables live, expected exactly 1"
+            )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        instance: MergeInstance,
+        cost_fn: MergeCostFunction = DEFAULT_COST,
+    ) -> ScheduleReplay:
+        """Symbolically execute the schedule and compute all cost metrics."""
+        if instance.n != self.n_initial:
+            raise InvalidScheduleError(
+                f"schedule expects {self.n_initial} tables, instance has {instance.n}"
+            )
+        tables: dict[int, frozenset] = dict(enumerate(instance.sets))
+        step_costs: list[float] = []
+        for step in self.steps:
+            merged: set = set()
+            for table_id in step.inputs:
+                merged.update(tables[table_id])
+            output = frozenset(merged)
+            tables[step.output] = output
+            step_costs.append(cost_fn.of(output))
+
+        leaf_cost = sum(cost_fn.of(s) for s in instance.sets)
+        submodular = sum(step_costs)
+        simplified = leaf_cost + submodular
+        # Interior tables (outputs except the final one) are written once
+        # and read once; leaves are read only; the root is written only.
+        interior = submodular - (step_costs[-1] if step_costs else 0.0)
+        actual = simplified + interior
+        return ScheduleReplay(
+            tables=tables,
+            final_id=self.final_id,
+            simplified_cost=simplified,
+            actual_cost=actual,
+            submodular_cost=submodular,
+            step_output_costs=tuple(step_costs),
+        )
+
+    def to_tree(self) -> tuple[MergeTree, tuple[int, ...]]:
+        """Convert to a merge tree plus leaf assignment.
+
+        Returns ``(tree, assignment)`` where ``assignment[position]`` is
+        the input-set index placed at that (canonical) leaf position, so
+        that ``MergeSchedule.from_tree(tree, assignment)`` replays the
+        same merges.
+        """
+        nodes: dict[int, MergeNode] = {
+            i: MergeNode() for i in range(self.n_initial)
+        }
+        set_of_node: dict[int, int] = {id(nodes[i]): i for i in range(self.n_initial)}
+        for step in self.steps:
+            children = tuple(nodes.pop(table_id) for table_id in step.inputs)
+            nodes[step.output] = MergeNode(children)
+        if len(nodes) != 1:
+            raise InvalidScheduleError("schedule does not reduce to a single table")
+        tree = MergeTree(next(iter(nodes.values())))
+        assignment = tuple(
+            set_of_node[id(node)] for node in tree.leaves()
+        )
+        return tree, assignment
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MergeSchedule):
+            return NotImplemented
+        return self.n_initial == other.n_initial and self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash((self.n_initial, self.steps))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MergeSchedule(n_initial={self.n_initial}, n_steps={self.n_steps})"
+
+
+@dataclass
+class ScheduleMetrics:
+    """Flat bundle of the metrics most callers want from a replay."""
+
+    simplified_cost: float
+    actual_cost: float
+    submodular_cost: float
+    n_steps: int
+    max_arity: int
+    extras: dict = field(default_factory=dict)
+
+
+def evaluate_schedule(
+    schedule: MergeSchedule,
+    instance: MergeInstance,
+    cost_fn: MergeCostFunction = DEFAULT_COST,
+) -> ScheduleMetrics:
+    """Replay ``schedule`` over ``instance`` and summarize its costs."""
+    replay = schedule.replay(instance, cost_fn)
+    return ScheduleMetrics(
+        simplified_cost=replay.simplified_cost,
+        actual_cost=replay.actual_cost,
+        submodular_cost=replay.submodular_cost,
+        n_steps=schedule.n_steps,
+        max_arity=schedule.max_arity(),
+    )

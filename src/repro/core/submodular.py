@@ -1,0 +1,96 @@
+"""Randomized checkers for monotone submodular set functions.
+
+The SUBMODULARMERGING extension (paper, Section 2) requires the merge
+cost ``f`` to be monotone (``f(S) <= f(T)`` whenever ``S subset of T``)
+and submodular (``f(S | T) + f(S & T) <= f(S) + f(T)``).  These checkers
+sample random subset pairs and report violations; they are used by the
+test suite to validate every :class:`~repro.core.cost.MergeCostFunction`
+shipped with the library, and are exposed publicly so users can sanity
+check their own cost functions.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Optional
+
+from .cost import MergeCostFunction
+from .keyset import Key
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """A witness pair for a failed monotonicity/submodularity check."""
+
+    kind: str
+    first: frozenset
+    second: frozenset
+    detail: str
+
+
+def _random_subset(ground: tuple, rng: random.Random) -> frozenset:
+    return frozenset(key for key in ground if rng.random() < 0.5)
+
+
+def check_monotone(
+    fn: MergeCostFunction,
+    ground_set: Iterable[Key],
+    trials: int = 200,
+    seed: int = 0,
+) -> Optional[PropertyViolation]:
+    """Sample nested pairs ``S subseteq T``; return a violation or ``None``."""
+    ground = tuple(ground_set)
+    rng = random.Random(seed)
+    for _ in range(trials):
+        t = _random_subset(ground, rng)
+        s = frozenset(key for key in t if rng.random() < 0.5)
+        if fn.of(s) > fn.of(t) + _TOLERANCE:
+            return PropertyViolation(
+                kind="monotonicity",
+                first=s,
+                second=t,
+                detail=f"f(S)={fn.of(s)} > f(T)={fn.of(t)} with S subset of T",
+            )
+    return None
+
+
+def check_submodular(
+    fn: MergeCostFunction,
+    ground_set: Iterable[Key],
+    trials: int = 200,
+    seed: int = 0,
+) -> Optional[PropertyViolation]:
+    """Sample pairs ``S, T``; check ``f(S|T) + f(S&T) <= f(S) + f(T)``."""
+    ground = tuple(ground_set)
+    rng = random.Random(seed)
+    for _ in range(trials):
+        s = _random_subset(ground, rng)
+        t = _random_subset(ground, rng)
+        lhs = fn.of(s | t) + fn.of(s & t)
+        rhs = fn.of(s) + fn.of(t)
+        if lhs > rhs + _TOLERANCE:
+            return PropertyViolation(
+                kind="submodularity",
+                first=s,
+                second=t,
+                detail=f"f(S|T)+f(S&T)={lhs} > f(S)+f(T)={rhs}",
+            )
+    return None
+
+
+def is_monotone_submodular(
+    fn: MergeCostFunction,
+    ground_set: Iterable[Key],
+    trials: int = 200,
+    seed: int = 0,
+) -> bool:
+    """Convenience wrapper: True iff both randomized checks pass."""
+    ground = tuple(ground_set)
+    return (
+        check_monotone(fn, ground, trials=trials, seed=seed) is None
+        and check_submodular(fn, ground, trials=trials, seed=seed) is None
+    )

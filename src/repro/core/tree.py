@@ -1,0 +1,265 @@
+"""Merge trees.
+
+A merge schedule with fan-in ``k = 2`` is a *full binary tree* with one
+leaf per input set plus an assignment of sets to leaves (paper, Section
+2).  :class:`MergeTree` is the structural half of that pair: an immutable
+rooted tree whose leaves carry canonical positions ``0..n-1`` (assigned
+left-to-right, the paper's "canonical fashion").  The assignment
+``pi`` is represented separately as a sequence mapping leaf position to
+input-set index, so the same tree can be re-labeled cheaply — exactly
+what the OPT-TREE-ASSIGN problem (Appendix A.2) and the f-approximation
+(Algorithm 2) require.
+
+The module also provides the quantity ``eta(T)`` from Appendix A.3 (sum
+over leaves of the number of nodes on the root-to-leaf path), whose lower
+bound ``n * log2(2n)`` (Lemma A.2) powers the tree-forcing argument in
+the NP-hardness reduction.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Iterator, Optional
+
+from ..errors import InvalidTreeError
+from .instance import MergeInstance
+
+
+class MergeNode:
+    """A node of a merge tree.
+
+    Leaves have ``children == ()`` and a ``leaf_position`` assigned by the
+    owning :class:`MergeTree`; internal nodes have two or more children.
+    """
+
+    __slots__ = ("children", "uid", "leaf_position")
+
+    def __init__(self, children: Sequence["MergeNode"] = ()) -> None:
+        self.children: tuple[MergeNode, ...] = tuple(children)
+        if len(self.children) == 1:
+            raise InvalidTreeError("merge-tree nodes cannot have exactly one child")
+        self.uid: int = -1  # assigned by MergeTree
+        self.leaf_position: Optional[int] = None  # assigned by MergeTree
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_leaf:
+            return f"Leaf(pos={self.leaf_position})"
+        return f"Node(uid={self.uid}, arity={len(self.children)})"
+
+
+def leaf() -> MergeNode:
+    """Create an unattached leaf node."""
+    return MergeNode()
+
+
+def join(*children: MergeNode) -> MergeNode:
+    """Create an internal node merging ``children`` (arity >= 2)."""
+    return MergeNode(children)
+
+
+class MergeTree:
+    """An immutable rooted merge tree with canonically numbered leaves.
+
+    Construction walks the tree once, assigning post-order ``uid`` values
+    to every node and left-to-right positions ``0..n-1`` to the leaves.
+    """
+
+    def __init__(self, root: MergeNode) -> None:
+        self.root = root
+        self._postorder: list[MergeNode] = []
+        self._leaves: list[MergeNode] = []
+        self._assign_ids()
+
+    def _assign_ids(self) -> None:
+        # Iterative post-order traversal; trees can be deep (caterpillar).
+        stack: list[tuple[MergeNode, bool]] = [(self.root, False)]
+        seen: set[int] = set()
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in seen and not expanded:
+                raise InvalidTreeError("node appears twice in the tree (shared subtree)")
+            if expanded:
+                node.uid = len(self._postorder)
+                self._postorder.append(node)
+                if node.is_leaf:
+                    node.leaf_position = len(self._leaves)
+                    self._leaves.append(node)
+            else:
+                seen.add(id(node))
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+        # Leaf positions were assigned in post-order, which visits leaves
+        # left-to-right for any tree, so they already match the canonical
+        # in-order numbering of the paper.
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def n_leaves(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._postorder)
+
+    def postorder(self) -> Iterator[MergeNode]:
+        """Yield nodes in post-order (children before parents)."""
+        return iter(self._postorder)
+
+    def leaves(self) -> Sequence[MergeNode]:
+        """Leaves in canonical left-to-right order."""
+        return tuple(self._leaves)
+
+    def internal_nodes(self) -> Iterator[MergeNode]:
+        """Yield every non-leaf node, including the root."""
+        return (node for node in self._postorder if not node.is_leaf)
+
+    def interior_nodes(self) -> Iterator[MergeNode]:
+        """Yield non-leaf, non-root nodes (the paper's "internal" nodes)."""
+        root = self.root
+        return (
+            node for node in self._postorder if not node.is_leaf and node is not root
+        )
+
+    @property
+    def is_binary(self) -> bool:
+        """True iff every internal node has exactly two children."""
+        return all(len(node.children) == 2 for node in self.internal_nodes())
+
+    def max_arity(self) -> int:
+        """Largest fan-in of any merge in the tree (1 for a single leaf)."""
+        arities = [len(node.children) for node in self.internal_nodes()]
+        return max(arities, default=1)
+
+    @property
+    def height(self) -> int:
+        """Length (in edges) of the longest root-to-leaf path."""
+        depths = self.depths()
+        return max(depths[node.uid] for node in self._leaves)
+
+    def depths(self) -> dict[int, int]:
+        """Map node uid to its depth (root depth 0)."""
+        depths = {self.root.uid: 0}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                depths[child.uid] = depths[node.uid] + 1
+                stack.append(child)
+        return depths
+
+    def eta(self) -> int:
+        """``eta(T)`` from Appendix A.3.
+
+        Sum over leaf nodes of the number of nodes on the path from the
+        root to the leaf (i.e. depth + 1).  Lemma A.2 proves
+        ``eta(T) >= n * log2(2n)`` for binary trees, with equality exactly
+        for the perfect binary tree.
+        """
+        depths = self.depths()
+        return sum(depths[node.uid] + 1 for node in self._leaves)
+
+    # ------------------------------------------------------------------
+    # Labeling
+    # ------------------------------------------------------------------
+    def resolve_assignment(
+        self, assignment: Optional[Sequence[int]] = None
+    ) -> tuple[int, ...]:
+        """Validate an assignment ``pi`` (leaf position -> set index).
+
+        ``None`` means the identity assignment.  The assignment must be a
+        permutation of ``0..n-1``.
+        """
+        n = self.n_leaves
+        if assignment is None:
+            return tuple(range(n))
+        assignment = tuple(assignment)
+        if len(assignment) != n or sorted(assignment) != list(range(n)):
+            raise InvalidTreeError(
+                f"assignment must be a permutation of 0..{n - 1}, got {assignment!r}"
+            )
+        return assignment
+
+    def labels(
+        self,
+        instance: MergeInstance,
+        assignment: Optional[Sequence[int]] = None,
+    ) -> dict[int, frozenset]:
+        """Label every node with its set ``A_nu`` (bottom-up union).
+
+        ``assignment[position]`` gives the index of the input set placed
+        at that leaf position; ``None`` is the identity.  Returns a map
+        from node ``uid`` to the node's key set.
+        """
+        if instance.n != self.n_leaves:
+            raise InvalidTreeError(
+                f"instance has {instance.n} sets but tree has {self.n_leaves} leaves"
+            )
+        assignment = self.resolve_assignment(assignment)
+        labels: dict[int, frozenset] = {}
+        for node in self._postorder:
+            if node.is_leaf:
+                labels[node.uid] = instance.sets[assignment[node.leaf_position]]
+            else:
+                merged: set = set()
+                for child in node.children:
+                    merged.update(labels[child.uid])
+                labels[node.uid] = frozenset(merged)
+        return labels
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def balanced_tree(n: int) -> MergeTree:
+    """A balanced binary merge tree with ``n`` leaves and height ``ceil(log2 n)``.
+
+    For ``n`` a power of two this is the perfect binary tree used by the
+    NP-hardness reduction and by the BALANCETREE heuristic.
+    """
+    if n < 1:
+        raise InvalidTreeError("a tree needs at least one leaf")
+
+    def build(count: int) -> MergeNode:
+        if count == 1:
+            return leaf()
+        left = (count + 1) // 2
+        return join(build(left), build(count - left))
+
+    return MergeTree(build(n))
+
+
+def left_deep_tree(n: int) -> MergeTree:
+    """The caterpillar tree ``T_n`` (Section 3, Figure 3).
+
+    Height is ``n - 1``; every internal node has one leaf child.  This is
+    the shape produced by a strict left-to-right merge.
+    """
+    if n < 1:
+        raise InvalidTreeError("a tree needs at least one leaf")
+    node = leaf()
+    for _ in range(n - 1):
+        node = join(node, leaf())
+    return MergeTree(node)
+
+
+def is_perfect_binary(tree: MergeTree) -> bool:
+    """True iff the tree is a perfect binary tree (all leaves at one depth)."""
+    if not tree.is_binary:
+        return False
+    depths = tree.depths()
+    leaf_depths = {depths[node.uid] for node in tree.leaves()}
+    n = tree.n_leaves
+    return len(leaf_depths) == 1 and n == 2 ** leaf_depths.pop()
+
+
+def eta_lower_bound(n: int) -> float:
+    """Lemma A.2's bound ``n * log2(2n)`` on ``eta(T)`` for binary trees."""
+    return n * math.log2(2 * n)

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidInstanceError(ReproError):
+    """A merge-problem instance is malformed (e.g. no input sets)."""
+
+
+class InvalidTreeError(ReproError):
+    """A merge tree violates a structural requirement (e.g. not full)."""
+
+
+class InvalidScheduleError(ReproError):
+    """A merge schedule is not executable (bad ids, wrong arity, ...)."""
+
+
+class PolicyError(ReproError):
+    """A compaction policy was misused or misconfigured."""
+
+
+class ConfigError(ReproError):
+    """A configuration object holds inconsistent or out-of-range values."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""
+
+
+class StorageError(ReproError):
+    """The LSM storage substrate was driven into an invalid state."""
+
+
+class CompactionError(ReproError):
+    """A compaction run could not be completed."""

@@ -1,0 +1,20 @@
+"""HyperLogLog cardinality estimation substrate.
+
+Used by the SMALLESTOUTPUT compaction policy (paper §5.1) to estimate
+sstable-union cardinalities without materializing unions.  See
+:mod:`repro.hll.hyperloglog` for the estimator and
+:mod:`repro.hll.hashing` for the deterministic 64-bit hash functions
+shared with the bloom-filter substrate.
+"""
+
+from .hashing import fnv1a64, hash_key, splitmix64
+from .hyperloglog import HyperLogLog
+from .registers import RegisterArray
+
+__all__ = [
+    "HyperLogLog",
+    "RegisterArray",
+    "fnv1a64",
+    "hash_key",
+    "splitmix64",
+]

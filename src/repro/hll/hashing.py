@@ -1,0 +1,80 @@
+"""Deterministic 64-bit hashing for HyperLogLog and bloom filters.
+
+Python's built-in ``hash`` is salted per process (``PYTHONHASHSEED``), so
+the library ships its own hash functions to make every sketch, estimate
+and simulation reproducible across runs:
+
+* :func:`splitmix64` — Steele et al.'s finalizer; excellent avalanche for
+  integer keys.
+* :func:`fnv1a64` — FNV-1a over bytes, used for strings and as the
+  fallback for other value types.
+* :func:`hash_key` — the dispatching entry point used everywhere in the
+  library; supports ``int``, ``str``, ``bytes``, ``tuple`` (recursively)
+  and falls back to hashing ``repr`` for other values.
+
+All results are uniform over ``[0, 2**64)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def splitmix64(x: int) -> int:
+    """One round of the splitmix64 mixer (finalizer variant)."""
+    x = (x + _GOLDEN) & MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & MASK64
+    return x ^ (x >> 31)
+
+
+def fnv1a64(data: bytes) -> int:
+    """FNV-1a 64-bit hash of a byte string."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & MASK64
+    return h
+
+
+def hash_key(key: Hashable, seed: int = 0) -> int:
+    """Hash an arbitrary hashable key to a uniform 64-bit integer.
+
+    The same (key, seed) pair always maps to the same value, in any
+    process.  Tuples are hashed recursively (needed for the
+    f-approximation's ``(element, set_index)`` dummy keys).
+
+    Integers are folded into 64 bits before mixing, so two ints that
+    agree modulo ``2**64`` collide — irrelevant for key-value keys,
+    which live far below that range.
+    """
+    if isinstance(key, bool):  # bool is an int subclass; keep it distinct
+        base = 0x51ED2700 + int(key)
+    elif isinstance(key, int):
+        base = key & MASK64
+    elif isinstance(key, str):
+        # type salt keeps str distinct from its utf-8 bytes
+        base = fnv1a64(key.encode("utf-8")) ^ 0x5374720000000000
+    elif isinstance(key, bytes):
+        base = fnv1a64(key)
+    elif isinstance(key, tuple):
+        acc = 0x2545F4914F6CDD1D
+        for item in key:
+            acc = splitmix64(acc ^ hash_key(item))
+        base = acc
+    elif isinstance(key, frozenset):
+        # Order-independent combine so equal sets hash equally.
+        acc = 0
+        for item in key:
+            acc ^= hash_key(item)
+        base = acc
+    else:
+        base = fnv1a64(repr(key).encode("utf-8"))
+    return splitmix64(base ^ splitmix64(seed))

@@ -1,0 +1,107 @@
+"""Register arrays backing HyperLogLog sketches.
+
+A sketch of precision ``p`` keeps ``m = 2**p`` byte-sized registers, each
+storing the maximum observed "rank" (leading-zero count + 1) for hashes
+routed to it.  This module hides the storage: a numpy ``uint8`` array
+when numpy is importable (the SMALLESTOUTPUT policy evaluates thousands
+of sketch unions per compaction, where vectorized max/sum matters), with
+a dependency-free ``bytearray`` fallback providing identical semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+try:  # optional acceleration; the pure-Python path is fully equivalent
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+# 2**-r for every possible register value; rank never exceeds 65 for
+# 64-bit hashes (p >= 4 leaves at most 60 suffix bits).
+_POW2_NEG = [2.0 ** -r for r in range(70)]
+if _np is not None:
+    _POW2_NEG_NP = _np.array(_POW2_NEG, dtype=_np.float64)
+
+
+class RegisterArray:
+    """Fixed-size array of byte registers with max-update semantics."""
+
+    __slots__ = ("m", "_regs", "_numpy")
+
+    def __init__(self, m: int, _backing=None, force_pure: bool = False) -> None:
+        if m < 1:
+            raise ValueError("register count must be positive")
+        self.m = m
+        self._numpy = _np is not None and not force_pure
+        if _backing is not None:
+            self._regs = _backing
+        elif self._numpy:
+            self._regs = _np.zeros(m, dtype=_np.uint8)
+        else:
+            self._regs = bytearray(m)
+
+    def update(self, index: int, rank: int) -> None:
+        """Raise register ``index`` to ``rank`` if it is currently lower."""
+        if rank > self._regs[index]:
+            self._regs[index] = rank
+
+    def get(self, index: int) -> int:
+        return int(self._regs[index])
+
+    def zeros(self) -> int:
+        """Number of registers still at zero (drives linear counting)."""
+        if self._numpy:
+            return int(self.m - _np.count_nonzero(self._regs))
+        return sum(1 for value in self._regs if value == 0)
+
+    def harmonic_sum(self) -> float:
+        """``sum(2**-M[j])`` over all registers (the raw-estimate kernel)."""
+        if self._numpy:
+            return float(_POW2_NEG_NP[self._regs].sum())
+        pow2 = _POW2_NEG
+        return sum(pow2[value] for value in self._regs)
+
+    def copy(self) -> "RegisterArray":
+        if self._numpy:
+            return RegisterArray(self.m, _backing=self._regs.copy())
+        return RegisterArray(self.m, _backing=bytearray(self._regs), force_pure=True)
+
+    def merge_max(self, other: "RegisterArray") -> None:
+        """In-place element-wise maximum with ``other`` (lossless union)."""
+        if self.m != other.m:
+            raise ValueError("cannot merge register arrays of different sizes")
+        if self._numpy and other._numpy:
+            _np.maximum(self._regs, other._regs, out=self._regs)
+            return
+        mine, theirs = self._regs, other._regs
+        for index in range(self.m):
+            if theirs[index] > mine[index]:
+                mine[index] = theirs[index]
+
+    @classmethod
+    def merged(
+        cls, arrays: Iterable["RegisterArray"], m: Optional[int] = None
+    ) -> "RegisterArray":
+        """Element-wise maximum of several register arrays (new array)."""
+        arrays = list(arrays)
+        if not arrays:
+            if m is None:
+                raise ValueError("cannot merge zero arrays without an explicit m")
+            return cls(m)
+        out = arrays[0].copy()
+        for other in arrays[1:]:
+            out.merge_max(other)
+        return out
+
+    def values(self) -> list[int]:
+        """Register contents as a plain list (testing/introspection)."""
+        return [int(value) for value in self._regs]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterArray):
+            return NotImplemented
+        return self.m == other.m and self.values() == other.values()
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("RegisterArray is mutable and unhashable")

@@ -1,0 +1,69 @@
+"""Bloom filters for sstable read-path pruning.
+
+Every sstable carries a bloom filter so point reads can skip tables that
+certainly do not contain the key — the standard LSM read-amplification
+mitigation (Bigtable §6, Cassandra, RocksDB).  Classic m/k sizing from
+the target false-positive rate, double hashing for the k probes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+from ..errors import ConfigError
+from ..hll.hashing import hash_key
+
+
+class BloomFilter:
+    """A fixed-size bloom filter sized for ``capacity`` keys at ``fp_rate``."""
+
+    __slots__ = ("m_bits", "k_hashes", "_bits", "_count")
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01) -> None:
+        if capacity < 1:
+            raise ConfigError("bloom capacity must be at least 1")
+        if not 0.0 < fp_rate < 1.0:
+            raise ConfigError("bloom fp_rate must be in (0, 1)")
+        ln2 = math.log(2.0)
+        self.m_bits = max(8, math.ceil(-capacity * math.log(fp_rate) / (ln2 * ln2)))
+        self.k_hashes = max(1, round(self.m_bits / capacity * ln2))
+        self._bits = bytearray((self.m_bits + 7) // 8)
+        self._count = 0
+
+    def _probes(self, key: Hashable) -> Iterable[int]:
+        h1 = hash_key(key, seed=0x0B1008)
+        h2 = hash_key(key, seed=0x0B1009) | 1  # odd => full cycle
+        m = self.m_bits
+        for i in range(self.k_hashes):
+            yield (h1 + i * h2) % m
+
+    def add(self, key: Hashable) -> None:
+        for bit in self._probes(key):
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+        self._count += 1
+
+    def add_all(self, keys: Iterable[Hashable]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return all(
+            self._bits[bit >> 3] & (1 << (bit & 7)) for bit in self._probes(key)
+        )
+
+    def __len__(self) -> int:
+        """Number of keys added (not the bit count)."""
+        return self._count
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    @classmethod
+    def of(cls, keys: Iterable[Hashable], fp_rate: float = 0.01) -> "BloomFilter":
+        """Build a filter sized for (and filled with) ``keys``."""
+        keys = list(keys)
+        bloom = cls(max(1, len(keys)), fp_rate)
+        bloom.add_all(keys)
+        return bloom

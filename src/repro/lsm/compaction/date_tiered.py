@@ -1,0 +1,139 @@
+"""Date-Tiered compaction (Cassandra DTCS) — related-work baseline.
+
+The paper's related work (§1) cites date-tiered compaction
+(CASSANDRA-6602, LogBase): "for data which becomes immutable over time,
+such as logs, recent data is prioritized for compaction".  The idea is
+to bucket sstables by *age window* and only merge tables within the
+same window, so cold data is rewritten rarely and time-range reads
+touch few tables.
+
+This implementation uses sequence numbers as the time axis (the
+simulator has no wall clock): windows cover geometrically growing age
+ranges ``[0, base)``, ``[base, base * (1 + ratio))``, ... measured
+backwards from the newest seqno.  A window holding at least
+``min_threshold`` tables is merged (newest windows first); tombstones
+are garbage-collected only when merging the oldest populated window.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..disk import SimulatedDisk
+from ..sstable import SSTable, merge_sstables
+from .base import CompactionResult, CompactionStrategy
+
+
+class DateTieredCompaction(CompactionStrategy):
+    """Bucket by age window; merge within windows only."""
+
+    def __init__(
+        self,
+        base_window: int = 1000,
+        window_growth: int = 4,
+        min_threshold: int = 2,
+        max_rounds: int = 64,
+        bloom_fp_rate: float = 0.01,
+    ) -> None:
+        if base_window < 1:
+            raise ValueError("base_window must be positive")
+        if window_growth < 2:
+            raise ValueError("window_growth must be at least 2")
+        if min_threshold < 2:
+            raise ValueError("min_threshold must be at least 2")
+        self.base_window = base_window
+        self.window_growth = window_growth
+        self.min_threshold = min_threshold
+        self.max_rounds = max_rounds
+        self.bloom_fp_rate = bloom_fp_rate
+        self.name = f"date_tiered(base={base_window}, growth={window_growth})"
+
+    def _window_of(self, age: int) -> int:
+        """Index of the geometric age window containing ``age``."""
+        upper = self.base_window
+        index = 0
+        while age >= upper:
+            upper += self.base_window * self.window_growth ** (index + 1)
+            index += 1
+        return index
+
+    def assign_windows(self, tables: Sequence[SSTable]) -> dict[int, list[SSTable]]:
+        """Group tables by age window (age = newest seqno - table's newest)."""
+        now = max(table.max_seqno for table in tables)
+        windows: dict[int, list[SSTable]] = {}
+        for table in tables:
+            windows.setdefault(self._window_of(now - table.max_seqno), []).append(table)
+        return windows
+
+    def compact(
+        self,
+        tables: Sequence[SSTable],
+        disk: SimulatedDisk,
+        next_table_id: int,
+    ) -> CompactionResult:
+        if not tables:
+            raise ValueError("nothing to compact")
+        started = time.perf_counter()
+        live = list(tables)
+        cost_actual = 0
+        cost_simplified = sum(table.entry_count for table in tables)
+        bytes_read = bytes_written = 0
+        io_seconds = 0.0
+        n_merges = 0
+        rounds = 0
+
+        for _ in range(self.max_rounds):
+            windows = self.assign_windows(live)
+            mergeable = sorted(
+                (index for index, members in windows.items()
+                 if len(members) >= self.min_threshold)
+            )
+            if not mergeable:
+                break
+            rounds += 1
+            oldest_window = max(windows)
+            for index in mergeable:
+                group = windows[index]
+                output = merge_sstables(
+                    group,
+                    new_table_id=next_table_id,
+                    drop_tombstones=index == oldest_window,
+                    bloom_fp_rate=self.bloom_fp_rate,
+                )
+                next_table_id += 1
+                for table in group:
+                    io_seconds += disk.read(table.size_bytes)
+                    bytes_read += table.size_bytes
+                    live.remove(table)
+                io_seconds += disk.write(output.size_bytes)
+                bytes_written += output.size_bytes
+                cost_actual += (
+                    sum(t.entry_count for t in group) + output.entry_count
+                )
+                cost_simplified += output.entry_count
+                n_merges += 1
+                live.append(output)
+
+        final_windows = self.assign_windows(live)
+        return CompactionResult(
+            strategy_name=self.name,
+            input_count=len(tables),
+            output_tables=live,
+            schedule=None,
+            n_merges=n_merges,
+            cost_actual_entries=cost_actual,
+            cost_simplified_entries=cost_simplified,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            io_seconds=io_seconds,
+            simulated_seconds=io_seconds,
+            wall_seconds=time.perf_counter() - started,
+            extras={
+                "rounds": rounds,
+                "windows": {
+                    index: [t.table_id for t in members]
+                    for index, members in sorted(final_windows.items())
+                },
+            },
+        )

@@ -1,0 +1,106 @@
+"""Major compaction driven by the paper's merge-scheduling policies.
+
+This is the bridge between :mod:`repro.core` and the storage substrate:
+
+1. model each sstable as its key set (:class:`MergeInstance`),
+2. run the configured policy (SI / SO / BT(I) / BT(O) / LM / RANDOM)
+   through the greedy framework to obtain a merge schedule, timing the
+   policy's decisions (the *strategy overhead* of §5.1),
+3. execute the schedule against the real sstables with
+   :func:`~repro.lsm.compaction.executor.execute_schedule`.
+
+BALANCETREE strategies default to ``lanes = 8`` (the paper's machine has
+8 cores and merges within a level are independent); everything else runs
+on one lane, matching the paper's single-threaded implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...core.greedy import GreedyMerger
+from ...core.instance import MergeInstance
+from ...core.policies import canonical_policy_name
+from ..disk import SimulatedDisk
+from ..sstable import SSTable
+from .base import CompactionResult, CompactionStrategy
+from .executor import execute_schedule
+
+_PARALLEL_POLICIES = ("balance_tree", "balance_tree_input", "balance_tree_output")
+DEFAULT_PARALLEL_LANES = 8
+
+
+class MajorCompaction(CompactionStrategy):
+    """Merge every sstable into one using a core scheduling policy."""
+
+    def __init__(
+        self,
+        policy: str = "balance_tree_input",
+        k: int = 2,
+        lanes: Optional[int] = None,
+        seed: Optional[int] = None,
+        drop_tombstones: bool = True,
+        bloom_fp_rate: float = 0.01,
+        **policy_kwargs,
+    ) -> None:
+        self.policy_name = canonical_policy_name(policy)
+        self.k = k
+        if lanes is None:
+            lanes = (
+                DEFAULT_PARALLEL_LANES
+                if self.policy_name in _PARALLEL_POLICIES
+                else 1
+            )
+        self.lanes = lanes
+        self.seed = seed
+        self.drop_tombstones = drop_tombstones
+        self.bloom_fp_rate = bloom_fp_rate
+        self.policy_kwargs = policy_kwargs
+        self.name = f"major({self.policy_name}, k={k})"
+
+    def compact(
+        self,
+        tables: Sequence[SSTable],
+        disk: SimulatedDisk,
+        next_table_id: int,
+    ) -> CompactionResult:
+        if not tables:
+            raise ValueError("nothing to compact")
+        if len(tables) == 1:
+            return CompactionResult(
+                strategy_name=self.name,
+                input_count=1,
+                output_tables=[tables[0]],
+            )
+
+        instance = MergeInstance(tuple(table.key_set for table in tables))
+        merger = GreedyMerger(
+            self.policy_name, k=self.k, seed=self.seed, **self.policy_kwargs
+        )
+        greedy = merger.run(instance)
+
+        execution = execute_schedule(
+            tables,
+            greedy.schedule,
+            disk,
+            next_table_id=next_table_id,
+            lanes=self.lanes,
+            drop_tombstones=self.drop_tombstones,
+            bloom_fp_rate=self.bloom_fp_rate,
+        )
+        return CompactionResult(
+            strategy_name=self.name,
+            input_count=len(tables),
+            output_tables=[execution.output_table],
+            schedule=greedy.schedule,
+            n_merges=execution.n_merges,
+            cost_actual_entries=execution.cost_actual_entries,
+            cost_simplified_entries=execution.cost_simplified_entries,
+            bytes_read=execution.bytes_read,
+            bytes_written=execution.bytes_written,
+            io_seconds=execution.io_seconds,
+            simulated_seconds=execution.simulated_seconds,
+            wall_seconds=execution.wall_seconds + greedy.policy_seconds,
+            strategy_overhead_seconds=greedy.policy_seconds,
+            extras={"policy_extras": greedy.extras, "lanes": self.lanes},
+        )

@@ -1,0 +1,129 @@
+"""Memtables: the in-memory write buffer of the LSM write path (Figure 1).
+
+Two implementations with one interface:
+
+* :class:`AppendLogMemtable` — the paper's simulator semantics (§5.1):
+  writes are *appended*; capacity counts operations, so the buffer "may
+  contain duplicate keys" and the flushed sstable "may be smaller and
+  vary in size" after deduplication.
+* :class:`SortedMapMemtable` — the realistic engine semantics (Cassandra,
+  RocksDB): an update overwrites the key in place; capacity counts
+  distinct keys.
+
+``flush_records`` always returns records sorted by key with exactly one
+(newest) version per key — the content of the sstable to be written.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable
+
+from ..errors import ConfigError, StorageError
+from .record import Record
+
+
+class Memtable(ABC):
+    """Common interface for both memtable flavours."""
+
+    def __init__(self, capacity_entries: int) -> None:
+        if capacity_entries < 1:
+            raise ConfigError("memtable capacity must be at least 1")
+        self.capacity_entries = capacity_entries
+
+    @abstractmethod
+    def add(self, record: Record) -> None:
+        """Buffer one write."""
+
+    @abstractmethod
+    def get(self, key: Hashable) -> Record | None:
+        """Newest buffered record for ``key`` (tombstones included)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Entries currently counted against capacity."""
+
+    @abstractmethod
+    def flush_records(self) -> list[Record]:
+        """Sorted, per-key-deduplicated contents; the memtable is cleared."""
+
+    @abstractmethod
+    def pending_records(self) -> list[Record]:
+        """Sorted, per-key-deduplicated contents *without* clearing."""
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.capacity_entries
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+
+class AppendLogMemtable(Memtable):
+    """Append-only buffer; capacity counts *operations* (paper mode)."""
+
+    def __init__(self, capacity_entries: int) -> None:
+        super().__init__(capacity_entries)
+        self._log: list[Record] = []
+
+    def add(self, record: Record) -> None:
+        if self.is_full:
+            raise StorageError("memtable is full; flush before writing")
+        self._log.append(record)
+
+    def get(self, key: Hashable) -> Record | None:
+        for record in reversed(self._log):
+            if record.key == key:
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def pending_records(self) -> list[Record]:
+        newest: dict[Hashable, Record] = {}
+        for record in self._log:  # later appends have higher seqnos
+            newest[record.key] = record
+        return [newest[key] for key in sorted(newest)]
+
+    def flush_records(self) -> list[Record]:
+        records = self.pending_records()
+        self._log = []
+        return records
+
+
+class SortedMapMemtable(Memtable):
+    """Map-backed buffer; capacity counts *distinct keys* (engine mode)."""
+
+    def __init__(self, capacity_entries: int) -> None:
+        super().__init__(capacity_entries)
+        self._map: dict[Hashable, Record] = {}
+
+    def add(self, record: Record) -> None:
+        if record.key not in self._map and self.is_full:
+            raise StorageError("memtable is full; flush before writing")
+        self._map[record.key] = record
+
+    def get(self, key: Hashable) -> Record | None:
+        return self._map.get(key)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def pending_records(self) -> list[Record]:
+        return [self._map[key] for key in sorted(self._map)]
+
+    def flush_records(self) -> list[Record]:
+        records = self.pending_records()
+        self._map = {}
+        return records
+
+
+def make_memtable(mode: str, capacity_entries: int) -> Memtable:
+    """Factory: ``"append"`` (paper simulator) or ``"map"`` (engine)."""
+    if mode == "append":
+        return AppendLogMemtable(capacity_entries)
+    if mode == "map":
+        return SortedMapMemtable(capacity_entries)
+    raise ConfigError(f"unknown memtable mode {mode!r}; use 'append' or 'map'")

@@ -1,0 +1,202 @@
+"""Sorted string tables (sstables) and their k-way merge.
+
+An :class:`SSTable` is an immutable run of records sorted by key with at
+most one record per key (Figure 1's on-disk unit).  It carries the
+read-path accelerators a real store attaches: a bloom filter and a
+sparse index (one anchor every ``index_interval`` entries) for
+binary-search point lookups.
+
+:func:`merge_sstables` is the compaction kernel (Figure 2): a heap-based
+k-way merge-sort keeping the newest version of each key.  Tombstone
+garbage collection is optional because it is only safe when the merge
+output is the *bottommost* table for its key range — i.e. the final
+merge of a major compaction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from functools import cached_property
+from typing import Hashable, Iterable, Iterator, Optional, Sequence
+
+from ..errors import StorageError
+from .bloom import BloomFilter
+from .record import Record
+
+DEFAULT_INDEX_INTERVAL = 16
+
+
+class SSTable:
+    """An immutable sorted run of per-key-unique records."""
+
+    def __init__(
+        self,
+        table_id: int,
+        records: Sequence[Record],
+        bloom_fp_rate: float = 0.01,
+        index_interval: int = DEFAULT_INDEX_INTERVAL,
+    ) -> None:
+        if not records:
+            raise StorageError(f"sstable {table_id} must contain at least one record")
+        keys = [record.key for record in records]
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            raise StorageError(
+                f"sstable {table_id} records must be strictly sorted by key"
+            )
+        self.table_id = table_id
+        self.records: tuple[Record, ...] = tuple(records)
+        self._keys: list = keys
+        self.min_key = keys[0]
+        self.max_key = keys[-1]
+        self._bloom_fp_rate = bloom_fp_rate
+        self._index_interval = max(1, index_interval)
+
+    # ------------------------------------------------------------------
+    # Read-path accelerators (built lazily: compaction intermediates are
+    # never point-read, and building blooms eagerly would dominate the
+    # simulator's merge time)
+    # ------------------------------------------------------------------
+    @cached_property
+    def bloom(self) -> BloomFilter:
+        """The table's bloom filter (constructed on first read-path use)."""
+        return BloomFilter.of(self._keys, self._bloom_fp_rate)
+
+    @cached_property
+    def sparse_index(self) -> tuple[tuple[Hashable, int], ...]:
+        """(key, offset) anchors every ``index_interval`` entries."""
+        keys = self._keys
+        return tuple(
+            (keys[offset], offset)
+            for offset in range(0, len(keys), self._index_interval)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        return len(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    @cached_property
+    def size_bytes(self) -> int:
+        """Total on-disk footprint of the data block."""
+        return sum(record.size_bytes for record in self.records)
+
+    @cached_property
+    def key_set(self) -> frozenset:
+        """The table's keys — the set the merge-scheduling model works on."""
+        return frozenset(self._keys)
+
+    @cached_property
+    def live_key_count(self) -> int:
+        """Keys whose newest record here is not a tombstone."""
+        return sum(1 for record in self.records if not record.tombstone)
+
+    @cached_property
+    def max_seqno(self) -> int:
+        """Newest sequence number in the table (recency for DTCS)."""
+        return max(record.seqno for record in self.records)
+
+    @cached_property
+    def min_seqno(self) -> int:
+        """Oldest sequence number in the table."""
+        return min(record.seqno for record in self.records)
+
+    def key_range_overlaps(self, other: "SSTable") -> bool:
+        return self.min_key <= other.max_key and other.min_key <= self.max_key
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def may_contain(self, key: Hashable) -> bool:
+        """Bloom + range check; False means definitely absent."""
+        if not self.min_key <= key <= self.max_key:
+            return False
+        return key in self.bloom
+
+    def get(self, key: Hashable) -> Optional[Record]:
+        """Point lookup via the sparse index + bounded binary search."""
+        if not self.min_key <= key <= self.max_key:
+            return None
+        anchor = bisect_right(self.sparse_index, key, key=lambda entry: entry[0]) - 1
+        if anchor < 0:
+            return None
+        start = self.sparse_index[anchor][1]
+        stop = min(start + self._index_interval, len(self._keys))
+        lo = bisect_right(self._keys, key, lo=start, hi=stop) - 1
+        if lo >= 0 and self._keys[lo] == key:
+            return self.records[lo]
+        return None
+
+    def scan(self, start_key: Hashable, length: int) -> list[Record]:
+        """Up to ``length`` records with key >= start_key."""
+        lo = bisect_right(self._keys, start_key) - 1
+        if lo < 0 or self._keys[lo] != start_key:
+            lo += 1
+        return list(self.records[lo : lo + length])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SSTable(id={self.table_id}, entries={self.entry_count}, "
+            f"range=[{self.min_key!r}, {self.max_key!r}])"
+        )
+
+
+def merge_sstables(
+    tables: Sequence[SSTable],
+    new_table_id: int,
+    drop_tombstones: bool = False,
+    bloom_fp_rate: float = 0.01,
+) -> SSTable:
+    """K-way merge-sort of sstables, keeping the newest record per key.
+
+    ``drop_tombstones=True`` additionally garbage-collects deletions —
+    only valid when the output is the bottommost table for its keys
+    (e.g. the final output of a major compaction).
+    """
+    if not tables:
+        raise StorageError("cannot merge zero sstables")
+    if len(tables) == 1 and not drop_tombstones:
+        return tables[0]
+
+    # K-way merge of the sorted runs.  heapq.merge keeps the heap logic
+    # in C; the (key, -seqno) sort key pops equal keys newest-first so
+    # the first record seen per key is the survivor.
+    streams = [table.records for table in tables]
+    merged: list[Record] = []
+    append = merged.append
+    last_key: object = object()  # sentinel unequal to any key
+    for record in heapq.merge(
+        *streams, key=lambda record: (record.key, -record.seqno)
+    ):
+        key = record.key
+        if key != last_key:
+            if not (drop_tombstones and record.tombstone):
+                append(record)
+            last_key = key
+
+    if not merged:
+        # Everything was tombstoned away; keep a single tombstone so the
+        # table remains representable (callers may special-case this).
+        newest = max(
+            (record for table in tables for record in table.records),
+            key=lambda record: record.seqno,
+        )
+        merged = [newest]
+    return SSTable(new_table_id, merged, bloom_fp_rate=bloom_fp_rate)
+
+
+def table_from_records(
+    table_id: int,
+    records: Iterable[Record],
+    bloom_fp_rate: float = 0.01,
+) -> SSTable:
+    """Build an sstable from pre-sorted, deduplicated records."""
+    return SSTable(table_id, list(records), bloom_fp_rate=bloom_fp_rate)

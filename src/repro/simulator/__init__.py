@@ -1,0 +1,48 @@
+"""The paper's two-phase evaluation simulator (§5.1).
+
+Phase 1 (:mod:`repro.simulator.phase1`) turns a YCSB workload into
+sstables through a fixed-capacity memtable; phase 2
+(:mod:`repro.simulator.phase2`) compacts them with a named strategy and
+reports ``costactual`` plus simulated/wall time.  The runner
+(:mod:`repro.simulator.runner`) repeats runs and sweeps parameters to
+regenerate the paper's figures.
+"""
+
+from .config import SimulationConfig
+from .metrics import AggregateResult, StrategyResult, aggregate
+from .phase1 import Phase1Result, generate_sstables
+from .phase2 import (
+    PAPER_STRATEGIES,
+    build_strategy,
+    run_strategy,
+    strategy_labels,
+)
+from .runner import (
+    ComparisonResult,
+    SweepPoint,
+    SweepResult,
+    run_comparison,
+    sweep_memtable_capacity,
+    sweep_operationcount,
+    sweep_update_fraction,
+)
+
+__all__ = [
+    "AggregateResult",
+    "ComparisonResult",
+    "PAPER_STRATEGIES",
+    "Phase1Result",
+    "SimulationConfig",
+    "StrategyResult",
+    "SweepPoint",
+    "SweepResult",
+    "aggregate",
+    "build_strategy",
+    "generate_sstables",
+    "run_comparison",
+    "run_strategy",
+    "strategy_labels",
+    "sweep_memtable_capacity",
+    "sweep_operationcount",
+    "sweep_update_fraction",
+]

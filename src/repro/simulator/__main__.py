@@ -1,0 +1,94 @@
+"""Command-line entry point for one-off simulator runs.
+
+Examples::
+
+    python -m repro.simulator                           # paper defaults
+    python -m repro.simulator --update-fraction 0.5 --distribution zipfian
+    python -m repro.simulator --operationcount 20000 --strategies SI,RANDOM
+    python -m repro.simulator --k 4 --runs 1
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from ..analysis.tables import format_table
+from .config import SimulationConfig
+from .phase2 import strategy_labels
+from .runner import run_comparison
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simulator",
+        description="Run the paper's two-phase compaction simulator once.",
+    )
+    parser.add_argument("--recordcount", type=int, default=1000)
+    parser.add_argument("--operationcount", type=int, default=100_000)
+    parser.add_argument("--memtable", type=int, default=1000, dest="memtable_capacity")
+    parser.add_argument(
+        "--distribution",
+        default="latest",
+        choices=["uniform", "zipfian", "latest", "scrambled_zipfian"],
+    )
+    parser.add_argument("--update-fraction", type=float, default=1.0)
+    parser.add_argument("--k", type=int, default=2, help="merge fan-in")
+    parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--strategies",
+        default=",".join(strategy_labels()),
+        help="comma-separated labels (SI,SO,BT(I),BT(O),RANDOM,LM,SO(exact))",
+    )
+    args = parser.parse_args(argv)
+
+    config = SimulationConfig(
+        recordcount=args.recordcount,
+        operationcount=args.operationcount,
+        memtable_capacity=args.memtable_capacity,
+        distribution=args.distribution,
+        update_fraction=args.update_fraction,
+        k=args.k,
+        seed=args.seed,
+    )
+    labels = tuple(label.strip() for label in args.strategies.split(",") if label.strip())
+    comparison = run_comparison(config, labels, runs=args.runs)
+
+    rows = []
+    for label in labels:
+        agg = comparison.per_strategy[label]
+        rows.append(
+            [
+                label,
+                agg.cost_actual_mean,
+                agg.cost_actual_std,
+                agg.cost_over_lopt,
+                agg.simulated_seconds_mean + agg.strategy_overhead_mean,
+                agg.strategy_overhead_mean,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "strategy",
+                "costactual mean",
+                "std",
+                "cost/LOPT",
+                "sim seconds",
+                "overhead s",
+            ],
+            rows,
+            float_digits=3,
+            title=(
+                f"distribution={config.distribution}, "
+                f"update={config.update_fraction:.0%}, k={config.k}, "
+                f"ops={config.operationcount}, runs={comparison.runs}"
+            ),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Configuration of the two-phase evaluation simulator (paper §5.1).
+
+One :class:`SimulationConfig` captures everything a run needs: the YCSB
+workload parameters (recordcount, operationcount, distribution, the
+insert/update mix), the memtable capacity that determines sstable
+boundaries, the merge fan-in ``k`` and the disk timing model.  The
+paper's defaults are the §5.2 settings: recordcount 1000, operationcount
+100 000, memtable size 1000, latest distribution, k = 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+from ..lsm.disk import (
+    DEFAULT_BANDWIDTH_BYTES_PER_SEC,
+    DEFAULT_SEEK_SECONDS,
+    DiskTimingModel,
+)
+from ..ycsb.workload import WorkloadConfig
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one simulator run."""
+
+    recordcount: int = 1000
+    operationcount: int = 100_000
+    memtable_capacity: int = 1000
+    distribution: str = "latest"
+    update_fraction: float = 1.0
+    k: int = 2
+    value_size: int = 100
+    memtable_mode: str = "append"  # paper semantics: capacity counts ops
+    bloom_fp_rate: float = 0.01
+    hll_precision: int = 12
+    parallel_lanes: int = 8
+    disk_bandwidth: float = DEFAULT_BANDWIDTH_BYTES_PER_SEC
+    disk_seek_seconds: float = DEFAULT_SEEK_SECONDS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.update_fraction <= 1.0:
+            raise ConfigError("update_fraction must be in [0, 1]")
+        if self.k < 2:
+            raise ConfigError("merge fan-in k must be at least 2")
+        if self.memtable_capacity < 1:
+            raise ConfigError("memtable_capacity must be at least 1")
+        if self.parallel_lanes < 1:
+            raise ConfigError("parallel_lanes must be at least 1")
+
+    def workload_config(self) -> WorkloadConfig:
+        """The YCSB workload this simulation drives."""
+        return WorkloadConfig.insert_update_mix(
+            update_fraction=self.update_fraction,
+            recordcount=self.recordcount,
+            operationcount=self.operationcount,
+            distribution=self.distribution,
+            seed=self.seed,
+            value_size=self.value_size,
+        )
+
+    def timing_model(self) -> DiskTimingModel:
+        return DiskTimingModel(
+            bandwidth_bytes_per_sec=self.disk_bandwidth,
+            seek_seconds=self.disk_seek_seconds,
+        )
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """The same configuration with a different RNG seed."""
+        return replace(self, seed=seed)
+
+    @classmethod
+    def figure7(
+        cls, update_fraction: float, distribution: str = "latest", seed: int = 0
+    ) -> "SimulationConfig":
+        """The §5.2 settings behind Figure 7."""
+        return cls(
+            recordcount=1000,
+            operationcount=100_000,
+            memtable_capacity=1000,
+            distribution=distribution,
+            update_fraction=update_fraction,
+            seed=seed,
+        )
+
+    @classmethod
+    def figure8(
+        cls,
+        memtable_capacity: int,
+        n_sstables: int = 100,
+        distribution: str = "latest",
+        seed: int = 0,
+    ) -> "SimulationConfig":
+        """The §5.3 settings behind Figure 8.
+
+        ``operationcount = memtable_capacity * n_sstables - recordcount``
+        so the workload produces exactly ``n_sstables`` memtable flushes.
+        """
+        recordcount = 1000
+        operationcount = memtable_capacity * n_sstables - recordcount
+        if operationcount < 0:
+            raise ConfigError(
+                "memtable_capacity * n_sstables must cover the recordcount"
+            )
+        return cls(
+            recordcount=recordcount,
+            operationcount=operationcount,
+            memtable_capacity=memtable_capacity,
+            distribution=distribution,
+            update_fraction=0.6,  # the paper's 60:40 update:insert ratio
+            seed=seed,
+        )

@@ -1,0 +1,103 @@
+"""Result records and aggregation for simulator runs."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, fields
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """Metrics of one compaction strategy on one set of sstables."""
+
+    strategy: str
+    n_tables: int
+    n_merges: int
+    cost_actual: int
+    cost_simplified: int
+    lopt_entries: int
+    bytes_read: int
+    bytes_written: int
+    io_seconds: float
+    simulated_seconds: float
+    strategy_overhead_seconds: float
+    wall_seconds: float
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        """Simulated compaction time: scheduled I/O + strategy overhead."""
+        return self.simulated_seconds + self.strategy_overhead_seconds
+
+    @property
+    def cost_over_lopt(self) -> float:
+        """Cost relative to the Fig. 8 lower bound (sum of sstable sizes)."""
+        return self.cost_actual / self.lopt_entries if self.lopt_entries else 0.0
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean and standard deviation over repeated runs of one strategy."""
+
+    strategy: str
+    runs: int
+    cost_actual_mean: float
+    cost_actual_std: float
+    cost_simplified_mean: float
+    simulated_seconds_mean: float
+    simulated_seconds_std: float
+    wall_seconds_mean: float
+    strategy_overhead_mean: float
+    lopt_entries_mean: float
+
+    @property
+    def cost_over_lopt(self) -> float:
+        return (
+            self.cost_actual_mean / self.lopt_entries_mean
+            if self.lopt_entries_mean
+            else 0.0
+        )
+
+
+def _std(values: Sequence[float]) -> float:
+    return statistics.stdev(values) if len(values) > 1 else 0.0
+
+
+def aggregate(results: Sequence[StrategyResult]) -> AggregateResult:
+    """Aggregate repeated runs of the same strategy."""
+    if not results:
+        raise ValueError("cannot aggregate zero results")
+    names = {result.strategy for result in results}
+    if len(names) != 1:
+        raise ValueError(f"mixed strategies in aggregation: {sorted(names)}")
+    costs = [result.cost_actual for result in results]
+    sims = [result.total_simulated_seconds for result in results]
+    return AggregateResult(
+        strategy=results[0].strategy,
+        runs=len(results),
+        cost_actual_mean=statistics.mean(costs),
+        cost_actual_std=_std(costs),
+        cost_simplified_mean=statistics.mean(
+            [result.cost_simplified for result in results]
+        ),
+        simulated_seconds_mean=statistics.mean(sims),
+        simulated_seconds_std=_std(sims),
+        wall_seconds_mean=statistics.mean(
+            [result.wall_seconds for result in results]
+        ),
+        strategy_overhead_mean=statistics.mean(
+            [result.strategy_overhead_seconds for result in results]
+        ),
+        lopt_entries_mean=statistics.mean(
+            [result.lopt_entries for result in results]
+        ),
+    )
+
+
+def result_fields() -> tuple[str, ...]:
+    """Names of the scalar fields of :class:`StrategyResult` (for tables)."""
+    return tuple(field.name for field in fields(StrategyResult))

@@ -1,0 +1,95 @@
+"""Phase 2 of the simulator: compact the sstables, measure cost and time.
+
+"In the second phase, we merge the generated sstables using some of the
+compaction strategies proposed in Section 4. ...  We measure the cost
+and time at the end of compaction for comparison.  The cost represents
+costactual defined in Section 2.  The running time measures both the
+strategy overhead and the actual merge time." (paper §5.1)
+
+The five evaluated strategies are exposed by label exactly as the paper
+names them — ``SI``, ``SO``, ``BT(I)``, ``BT(O)``, ``RANDOM`` — plus
+everything else the policy registry knows (``LM``, exact-estimator SO,
+...).  BT strategies execute their per-level merges on
+``config.parallel_lanes`` lanes of the simulated disk's timing model;
+the single-threaded strategies use one lane (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import CompactionError
+from ..lsm.compaction.major import MajorCompaction
+from ..lsm.disk import SimulatedDisk
+from ..lsm.sstable import SSTable
+from .config import SimulationConfig
+from .metrics import StrategyResult
+
+#: label -> (policy name, parallel?) for the paper's §5.1 strategy set.
+PAPER_STRATEGIES: dict[str, tuple[str, bool]] = {
+    "SI": ("smallest_input", False),
+    "SO": ("smallest_output_hll", False),
+    "BT(I)": ("balance_tree_input", True),
+    "BT(O)": ("balance_tree_output", True),
+    "RANDOM": ("random", False),
+    # extras beyond the paper's figure, available to benches/ablations
+    "LM": ("largest_match", False),
+    "SO(exact)": ("smallest_output", False),
+}
+
+
+def strategy_labels() -> tuple[str, ...]:
+    """The five §5.1 labels, in the paper's order."""
+    return ("SI", "SO", "BT(I)", "BT(O)", "RANDOM")
+
+
+def build_strategy(
+    label: str,
+    config: SimulationConfig,
+    seed: Optional[int] = None,
+) -> MajorCompaction:
+    """Instantiate the MajorCompaction behind a paper strategy label."""
+    try:
+        policy, parallel = PAPER_STRATEGIES[label]
+    except KeyError:
+        raise CompactionError(
+            f"unknown strategy label {label!r}; known: {sorted(PAPER_STRATEGIES)}"
+        ) from None
+    kwargs: dict = {}
+    if policy in ("smallest_output_hll", "balance_tree_output"):
+        kwargs["hll_precision"] = config.hll_precision
+    return MajorCompaction(
+        policy,
+        k=config.k,
+        lanes=config.parallel_lanes if parallel else 1,
+        seed=seed if seed is not None else config.seed,
+        **kwargs,
+    )
+
+
+def run_strategy(
+    tables: Sequence[SSTable],
+    label: str,
+    config: SimulationConfig,
+    seed: Optional[int] = None,
+) -> StrategyResult:
+    """Compact ``tables`` with the labelled strategy; return its metrics."""
+    if not tables:
+        raise CompactionError("phase 2 needs at least one sstable")
+    strategy = build_strategy(label, config, seed=seed)
+    disk = SimulatedDisk(config.timing_model())
+    result = strategy.compact(tables, disk, next_table_id=10_000_000)
+    return StrategyResult(
+        strategy=label,
+        n_tables=len(tables),
+        n_merges=result.n_merges,
+        cost_actual=result.cost_actual_entries,
+        cost_simplified=result.cost_simplified_entries,
+        lopt_entries=sum(table.entry_count for table in tables),
+        bytes_read=result.bytes_read,
+        bytes_written=result.bytes_written,
+        io_seconds=result.io_seconds,
+        simulated_seconds=result.simulated_seconds,
+        strategy_overhead_seconds=result.strategy_overhead_seconds,
+        wall_seconds=result.wall_seconds,
+    )

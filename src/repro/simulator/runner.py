@@ -1,0 +1,144 @@
+"""Run orchestration: repeated runs and the paper's parameter sweeps.
+
+The paper reports "the average and the standard deviation for cost and
+time ... from 3 independent runs of the experiment" (§5.2); runs here
+differ by workload seed, and every strategy is evaluated on the *same*
+phase-1 sstables within a run (paired comparison, as in the paper).
+
+Sweeps correspond one-to-one to the figures:
+
+* :func:`sweep_update_fraction` — Figure 7 (and 9a): vary the
+  insert/update mix.
+* :func:`sweep_memtable_capacity` — Figure 8: vary memtable size with a
+  fixed number of sstables.
+* :func:`sweep_operationcount` — Figure 9b: vary the data size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from .config import SimulationConfig
+from .metrics import AggregateResult, StrategyResult, aggregate
+from .phase1 import generate_sstables
+from .phase2 import run_strategy, strategy_labels
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """All strategies on one configuration, aggregated over runs."""
+
+    config: SimulationConfig
+    per_strategy: dict[str, AggregateResult]
+    runs: int
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-value of a sweep with its per-strategy aggregates."""
+
+    x: float
+    config: SimulationConfig
+    per_strategy: dict[str, AggregateResult]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full sweep: the series behind one paper figure."""
+
+    parameter: str
+    points: tuple[SweepPoint, ...]
+    labels: tuple[str, ...]
+
+    def series(self, label: str, metric: str = "cost_actual_mean") -> list[tuple[float, float]]:
+        """(x, metric) pairs for one strategy across the sweep."""
+        return [
+            (point.x, getattr(point.per_strategy[label], metric))
+            for point in self.points
+        ]
+
+
+def run_comparison(
+    config: SimulationConfig,
+    labels: Sequence[str] | None = None,
+    runs: int = 3,
+) -> ComparisonResult:
+    """Phase 1 + phase 2 for every label, over ``runs`` seeds."""
+    labels = tuple(labels) if labels is not None else strategy_labels()
+    collected: dict[str, list[StrategyResult]] = {label: [] for label in labels}
+    for run_index in range(runs):
+        run_config = config.with_seed(config.seed + run_index)
+        phase1 = generate_sstables(run_config)
+        for label in labels:
+            collected[label].append(
+                run_strategy(
+                    phase1.tables, label, run_config, seed=run_config.seed
+                )
+            )
+    return ComparisonResult(
+        config=config,
+        per_strategy={label: aggregate(results) for label, results in collected.items()},
+        runs=runs,
+    )
+
+
+def sweep_update_fraction(
+    base: SimulationConfig,
+    fractions: Sequence[float],
+    labels: Sequence[str] | None = None,
+    runs: int = 3,
+) -> SweepResult:
+    """Figure 7's x-axis: update percentage of the write mix."""
+    labels = tuple(labels) if labels is not None else strategy_labels()
+    points = []
+    for fraction in fractions:
+        config = replace(base, update_fraction=fraction)
+        comparison = run_comparison(config, labels, runs)
+        points.append(
+            SweepPoint(x=fraction * 100.0, config=config, per_strategy=comparison.per_strategy)
+        )
+    return SweepResult("update_percentage", tuple(points), labels)
+
+
+def sweep_memtable_capacity(
+    capacities: Sequence[int],
+    labels: Sequence[str] | None = None,
+    runs: int = 3,
+    n_sstables: int = 100,
+    distribution: str = "latest",
+    seed: int = 0,
+) -> SweepResult:
+    """Figure 8's x-axis: memtable size with a fixed sstable count."""
+    labels = tuple(labels) if labels is not None else ("BT(I)",)
+    points = []
+    for capacity in capacities:
+        config = SimulationConfig.figure8(
+            memtable_capacity=capacity,
+            n_sstables=n_sstables,
+            distribution=distribution,
+            seed=seed,
+        )
+        comparison = run_comparison(config, labels, runs)
+        points.append(
+            SweepPoint(x=float(capacity), config=config, per_strategy=comparison.per_strategy)
+        )
+    return SweepResult("memtable_capacity", tuple(points), labels)
+
+
+def sweep_operationcount(
+    base: SimulationConfig,
+    counts: Sequence[int],
+    labels: Sequence[str] | None = None,
+    runs: int = 3,
+) -> SweepResult:
+    """Figure 9b's x-axis: number of run-phase operations (data size)."""
+    labels = tuple(labels) if labels is not None else ("SI",)
+    points = []
+    for count in counts:
+        config = replace(base, operationcount=count)
+        comparison = run_comparison(config, labels, runs)
+        points.append(
+            SweepPoint(x=float(count), config=config, per_strategy=comparison.per_strategy)
+        )
+    return SweepResult("operationcount", tuple(points), labels)

@@ -1,0 +1,41 @@
+"""YCSB-compatible workload generation (paper §5.1).
+
+Re-implements the YCSB core-workload generators the paper's evaluation
+uses: load + run phases, CRUD operation mixes and the uniform / zipfian
+/ latest key-access distributions.
+"""
+
+from .distributions import (
+    DEFAULT_ZIPFIAN_THETA,
+    HotspotChooser,
+    KeyChooser,
+    LatestChooser,
+    ScrambledZipfianChooser,
+    SequentialChooser,
+    UniformChooser,
+    ZipfianChooser,
+    available_distributions,
+    make_chooser,
+)
+from .operations import Operation, OperationType
+from .presets import available_presets, workload_preset
+from .workload import CoreWorkload, WorkloadConfig
+
+__all__ = [
+    "CoreWorkload",
+    "DEFAULT_ZIPFIAN_THETA",
+    "HotspotChooser",
+    "KeyChooser",
+    "LatestChooser",
+    "Operation",
+    "OperationType",
+    "ScrambledZipfianChooser",
+    "SequentialChooser",
+    "UniformChooser",
+    "WorkloadConfig",
+    "ZipfianChooser",
+    "available_distributions",
+    "available_presets",
+    "make_chooser",
+    "workload_preset",
+]

@@ -1,0 +1,211 @@
+"""YCSB key-access distributions (paper §5.1 "Dataset").
+
+The paper's workloads access keys with one of three distributions:
+
+* **Uniform** — every inserted key equally likely.
+* **Zipfian** — a few keys are popular (power law).  This is Gray et
+  al.'s rejection-free algorithm exactly as implemented in YCSB's
+  ``ZipfianGenerator`` (theta = 0.99 by default), with incremental
+  extension of the ``zeta(n, theta)`` constant as the key space grows
+  from inserts.
+* **Latest** — recently inserted keys are popular: a zipfian over
+  recency, ``key = newest - zipf()`` (YCSB's ``SkewedLatestGenerator``).
+
+A **scrambled zipfian** variant is also provided (zipfian popularity
+assigned to hashed positions, so hot keys are spread across the key
+space) — YCSB's default for read/update choosers.
+
+Every chooser draws from ``[0, item_count)`` where ``item_count`` is
+passed per call, because the run phase inserts new records and the
+choosers must track the growing key space.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..errors import WorkloadError
+from ..hll.hashing import splitmix64
+
+DEFAULT_ZIPFIAN_THETA = 0.99
+
+
+class KeyChooser(ABC):
+    """Chooses a key index in ``[0, item_count)``."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def next(self, rng: random.Random, item_count: int) -> int:
+        """Draw the next key index given the current key-space size."""
+
+    def _check(self, item_count: int) -> None:
+        if item_count < 1:
+            raise WorkloadError("item_count must be at least 1")
+
+
+class UniformChooser(KeyChooser):
+    """Uniform over all inserted keys."""
+
+    name = "uniform"
+
+    def next(self, rng: random.Random, item_count: int) -> int:
+        self._check(item_count)
+        return rng.randrange(item_count)
+
+
+class ZipfianChooser(KeyChooser):
+    """Gray's zipfian algorithm as used by YCSB's ``ZipfianGenerator``.
+
+    Key ``0`` is the most popular.  ``zeta(n, theta)`` is maintained
+    incrementally so that growing ``item_count`` (run-phase inserts)
+    costs only the marginal terms.
+    """
+
+    name = "zipfian"
+
+    def __init__(self, theta: float = DEFAULT_ZIPFIAN_THETA) -> None:
+        if not 0.0 < theta < 1.0:
+            raise WorkloadError(f"zipfian theta must be in (0, 1), got {theta}")
+        self.theta = theta
+        self._n = 0
+        self._zetan = 0.0
+        self._zeta2 = 2.0 ** -theta + 1.0  # zeta(2, theta) = 1 + 1/2^theta
+        self._alpha = 1.0 / (1.0 - theta)
+
+    def _extend_zeta(self, item_count: int) -> None:
+        if item_count < self._n:
+            # Key spaces never shrink in YCSB; recompute defensively.
+            self._n = 0
+            self._zetan = 0.0
+        theta = self.theta
+        for i in range(self._n + 1, item_count + 1):
+            self._zetan += 1.0 / (i**theta)
+        self._n = item_count
+
+    def next(self, rng: random.Random, item_count: int) -> int:
+        self._check(item_count)
+        if item_count == 1:
+            return 0
+        if item_count != self._n:
+            self._extend_zeta(item_count)
+        zetan = self._zetan
+        theta = self.theta
+        eta = (1.0 - (2.0 / item_count) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / zetan
+        )
+        u = rng.random()
+        uz = u * zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**theta:
+            return 1
+        value = int(item_count * (eta * u - eta + 1.0) ** self._alpha)
+        return min(value, item_count - 1)
+
+
+class ScrambledZipfianChooser(KeyChooser):
+    """Zipfian popularity scattered over the key space by hashing.
+
+    YCSB scrambles so the hot keys are not the low-numbered (oldest)
+    records; overlap *structure* between sstables is preserved, only the
+    identity of the hot keys changes.
+    """
+
+    name = "scrambled_zipfian"
+
+    def __init__(self, theta: float = DEFAULT_ZIPFIAN_THETA, salt: int = 0xC0FFEE) -> None:
+        self._zipfian = ZipfianChooser(theta)
+        self._salt = salt
+
+    def next(self, rng: random.Random, item_count: int) -> int:
+        self._check(item_count)
+        rank = self._zipfian.next(rng, item_count)
+        return splitmix64(rank ^ self._salt) % item_count
+
+
+class LatestChooser(KeyChooser):
+    """YCSB's ``SkewedLatestGenerator``: newest keys are most popular."""
+
+    name = "latest"
+
+    def __init__(self, theta: float = DEFAULT_ZIPFIAN_THETA) -> None:
+        self._zipfian = ZipfianChooser(theta)
+
+    def next(self, rng: random.Random, item_count: int) -> int:
+        self._check(item_count)
+        offset = self._zipfian.next(rng, item_count)
+        return item_count - 1 - offset
+
+
+class HotspotChooser(KeyChooser):
+    """YCSB's ``HotspotIntegerGenerator``: a hot set absorbs most accesses.
+
+    A fraction ``hot_fraction`` of the key space receives
+    ``hot_access_fraction`` of the accesses (defaults: 20 % of keys get
+    80 % of accesses); both regions are uniform internally.
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self, hot_fraction: float = 0.2, hot_access_fraction: float = 0.8
+    ) -> None:
+        if not 0.0 < hot_fraction < 1.0:
+            raise WorkloadError("hot_fraction must be in (0, 1)")
+        if not 0.0 < hot_access_fraction < 1.0:
+            raise WorkloadError("hot_access_fraction must be in (0, 1)")
+        self.hot_fraction = hot_fraction
+        self.hot_access_fraction = hot_access_fraction
+
+    def next(self, rng: random.Random, item_count: int) -> int:
+        self._check(item_count)
+        hot_count = max(1, int(item_count * self.hot_fraction))
+        if rng.random() < self.hot_access_fraction:
+            return rng.randrange(hot_count)
+        if hot_count >= item_count:
+            return rng.randrange(item_count)
+        return hot_count + rng.randrange(item_count - hot_count)
+
+
+class SequentialChooser(KeyChooser):
+    """Round-robin over the key space (useful for deterministic tests)."""
+
+    name = "sequential"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def next(self, rng: random.Random, item_count: int) -> int:
+        self._check(item_count)
+        value = self._cursor % item_count
+        self._cursor += 1
+        return value
+
+
+_CHOOSERS = {
+    "uniform": UniformChooser,
+    "zipfian": ZipfianChooser,
+    "scrambled_zipfian": ScrambledZipfianChooser,
+    "latest": LatestChooser,
+    "hotspot": HotspotChooser,
+    "sequential": SequentialChooser,
+}
+
+
+def make_chooser(name: str, theta: float = DEFAULT_ZIPFIAN_THETA) -> KeyChooser:
+    """Instantiate a key chooser by distribution name."""
+    try:
+        factory = _CHOOSERS[name.lower()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown distribution {name!r}; available: {sorted(_CHOOSERS)}"
+        ) from None
+    if factory in (ZipfianChooser, ScrambledZipfianChooser, LatestChooser):
+        return factory(theta)  # type: ignore[call-arg]
+    return factory()
+
+
+def available_distributions() -> tuple[str, ...]:
+    return tuple(sorted(_CHOOSERS))

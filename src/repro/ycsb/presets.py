@@ -1,0 +1,61 @@
+"""The standard YCSB core workloads A-F as config presets.
+
+The paper generates custom insert/update mixes, but YCSB ships six
+canonical workloads that downstream users expect from a YCSB
+implementation:
+
+=========  =======================================  ==================
+workload   operation mix                            distribution
+=========  =======================================  ==================
+A          50% read / 50% update                    zipfian
+B          95% read / 5% update                     zipfian
+C          100% read                                zipfian
+D          95% read / 5% insert                     latest
+E          95% scan / 5% insert                     zipfian
+F          50% read / 50% read-modify-write*        zipfian
+=========  =======================================  ==================
+
+``*`` read-modify-write is modeled as an update (the write half is what
+reaches the storage engine; the read half is a plain read).
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .workload import WorkloadConfig
+
+_PRESETS: dict[str, dict] = {
+    "a": dict(read_proportion=0.5, update_proportion=0.5, distribution="zipfian"),
+    "b": dict(read_proportion=0.95, update_proportion=0.05, distribution="zipfian"),
+    "c": dict(read_proportion=1.0, update_proportion=0.0, distribution="zipfian"),
+    "d": dict(read_proportion=0.95, insert_proportion=0.05, update_proportion=0.0, distribution="latest"),
+    "e": dict(scan_proportion=0.95, insert_proportion=0.05, update_proportion=0.0, distribution="zipfian"),
+    "f": dict(read_proportion=0.5, update_proportion=0.5, distribution="zipfian"),
+}
+
+
+def workload_preset(
+    name: str,
+    recordcount: int = 1000,
+    operationcount: int = 10_000,
+    seed: int = 0,
+    **overrides,
+) -> WorkloadConfig:
+    """Build the canonical YCSB workload ``name`` (one of ``"A"``-``"F"``)."""
+    try:
+        preset = dict(_PRESETS[name.lower()])
+    except KeyError:
+        raise WorkloadError(
+            f"unknown YCSB workload {name!r}; choose one of A-F"
+        ) from None
+    preset.update(overrides)
+    return WorkloadConfig(
+        recordcount=recordcount,
+        operationcount=operationcount,
+        seed=seed,
+        **preset,
+    )
+
+
+def available_presets() -> tuple[str, ...]:
+    return tuple(sorted(name.upper() for name in _PRESETS))

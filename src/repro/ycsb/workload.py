@@ -1,0 +1,189 @@
+"""The YCSB core workload: load + run phases (paper §5.1).
+
+:class:`WorkloadConfig` mirrors the YCSB properties the paper names:
+``recordcount`` (load-phase inserts), ``operationcount`` (run-phase
+operations), the operation mix proportions and the key-access
+distribution.  :class:`CoreWorkload` turns a config into the two
+operation streams:
+
+* :meth:`CoreWorkload.load_operations` — inserts keys ``0..recordcount-1``
+  into the empty database.
+* :meth:`CoreWorkload.run_operations` — ``operationcount`` CRUD
+  operations; reads/updates/deletes pick existing keys via the
+  configured distribution, inserts append fresh keys (growing the key
+  space seen by the choosers, exactly as YCSB's transaction phase does).
+
+Everything is driven by one seeded :mod:`random.Random`, so a config is
+a complete, reproducible description of a workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from ..errors import WorkloadError
+from .distributions import DEFAULT_ZIPFIAN_THETA, KeyChooser, make_chooser
+from .operations import Operation, OperationType
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a YCSB core workload.
+
+    Proportions need not sum to one; they are normalized.  The paper's
+    experiments use insert/update mixes only (reads and deletes do not
+    modify sstables and are ignored by the simulator), but the full mix
+    is supported for driving the LSM engine.
+    """
+
+    recordcount: int = 1000
+    operationcount: int = 10_000
+    insert_proportion: float = 0.0
+    update_proportion: float = 1.0
+    read_proportion: float = 0.0
+    delete_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    distribution: str = "latest"
+    zipfian_theta: float = DEFAULT_ZIPFIAN_THETA
+    value_size: int = 100
+    max_scan_length: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.recordcount < 1:
+            raise WorkloadError("recordcount must be at least 1")
+        if self.operationcount < 0:
+            raise WorkloadError("operationcount must be non-negative")
+        if self.value_size < 0:
+            raise WorkloadError("value_size must be non-negative")
+        proportions = self._proportions()
+        if any(p < 0 for p in proportions.values()):
+            raise WorkloadError("operation proportions must be non-negative")
+        if self.operationcount > 0 and sum(proportions.values()) <= 0:
+            raise WorkloadError("at least one operation proportion must be positive")
+
+    def _proportions(self) -> dict[OperationType, float]:
+        return {
+            OperationType.INSERT: self.insert_proportion,
+            OperationType.UPDATE: self.update_proportion,
+            OperationType.READ: self.read_proportion,
+            OperationType.DELETE: self.delete_proportion,
+            OperationType.SCAN: self.scan_proportion,
+        }
+
+    @classmethod
+    def insert_update_mix(
+        cls,
+        update_fraction: float,
+        recordcount: int = 1000,
+        operationcount: int = 100_000,
+        distribution: str = "latest",
+        seed: int = 0,
+        **kwargs,
+    ) -> "WorkloadConfig":
+        """The paper's §5.2 spectrum: insert-heavy (0.0) to update-heavy (1.0)."""
+        if not 0.0 <= update_fraction <= 1.0:
+            raise WorkloadError("update_fraction must be in [0, 1]")
+        return cls(
+            recordcount=recordcount,
+            operationcount=operationcount,
+            insert_proportion=1.0 - update_fraction,
+            update_proportion=update_fraction,
+            read_proportion=0.0,
+            distribution=distribution,
+            seed=seed,
+            **kwargs,
+        )
+
+
+@dataclass
+class _DiscreteChooser:
+    """Weighted choice over operation types (YCSB's DiscreteGenerator)."""
+
+    choices: list[tuple[OperationType, float]] = field(default_factory=list)
+    total: float = 0.0
+
+    @classmethod
+    def from_config(cls, config: WorkloadConfig) -> "_DiscreteChooser":
+        pairs = [
+            (op, weight) for op, weight in config._proportions().items() if weight > 0
+        ]
+        return cls(choices=pairs, total=sum(weight for _, weight in pairs))
+
+    def next(self, rng: random.Random) -> OperationType:
+        point = rng.random() * self.total
+        accumulated = 0.0
+        for op, weight in self.choices:
+            accumulated += weight
+            if point < accumulated:
+                return op
+        return self.choices[-1][0]
+
+
+class CoreWorkload:
+    """Generates the load and run operation streams for a config."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._chooser: KeyChooser = make_chooser(
+            config.distribution, config.zipfian_theta
+        )
+        self._op_chooser = _DiscreteChooser.from_config(config)
+        self._inserted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def inserted_count(self) -> int:
+        """Keys inserted so far (load + run inserts)."""
+        return self._inserted
+
+    def key_name(self, keynum: int) -> Hashable:
+        """Map a key number to the stored key.
+
+        Integers keep the simulator fast; swap in e.g. ``f"user{keynum}"``
+        by subclassing if string keys are wanted.
+        """
+        return keynum
+
+    # ------------------------------------------------------------------
+    def load_operations(self) -> Iterator[Operation]:
+        """The load phase: insert ``recordcount`` fresh keys."""
+        for keynum in range(self.config.recordcount):
+            self._inserted += 1
+            yield Operation(
+                OperationType.INSERT,
+                self.key_name(keynum),
+                value_size=self.config.value_size,
+            )
+
+    def run_operations(self) -> Iterator[Operation]:
+        """The run phase: ``operationcount`` CRUD operations."""
+        if self._inserted == 0:
+            raise WorkloadError("run phase requires a load phase first")
+        rng = self._rng
+        config = self.config
+        for _ in range(config.operationcount):
+            op_type = self._op_chooser.next(rng)
+            if op_type is OperationType.INSERT:
+                keynum = self._inserted
+                self._inserted += 1
+            else:
+                keynum = self._chooser.next(rng, self._inserted)
+            if op_type is OperationType.SCAN:
+                yield Operation(
+                    op_type,
+                    self.key_name(keynum),
+                    scan_length=rng.randint(1, config.max_scan_length),
+                )
+            else:
+                yield Operation(
+                    op_type, self.key_name(keynum), value_size=config.value_size
+                )
+
+    def all_operations(self) -> Iterator[Operation]:
+        """Load phase followed by run phase."""
+        yield from self.load_operations()
+        yield from self.run_operations()

@@ -1,0 +1,59 @@
+"""Direct tests of the figure-regeneration functions at tiny scale.
+
+The benchmark suite runs these at paper scale; here we inject a reduced
+configuration to exercise the full figure pipeline (sweep -> table ->
+plot -> metadata) inside the ordinary test run.
+"""
+
+import pytest
+
+from repro.analysis.experiments import figure7, figure8
+from repro.simulator import SimulationConfig
+
+TINY = SimulationConfig(
+    recordcount=150,
+    operationcount=1500,
+    memtable_capacity=150,
+    distribution="latest",
+    update_fraction=0.0,
+    seed=5,
+)
+
+
+class TestFigure7Function:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return figure7(runs=1, base=TINY, fractions=(0.0, 1.0))
+
+    def test_returns_both_panels(self, panels):
+        fig7a, fig7b = panels
+        assert fig7a.experiment_id == "fig7a"
+        assert fig7b.experiment_id == "fig7b"
+
+    def test_series_cover_all_strategies(self, panels):
+        fig7a, _ = panels
+        assert set(fig7a.series) == {"SI", "SO", "BT(I)", "BT(O)", "RANDOM"}
+        for points in fig7a.series.values():
+            assert [x for x, _ in points] == [0.0, 100.0]
+
+    def test_text_contains_table_and_plot(self, panels):
+        fig7a, fig7b = panels
+        for panel in (fig7a, fig7b):
+            assert "update %" in panel.text
+            assert "legend:" in panel.text
+
+    def test_metadata(self, panels):
+        fig7a, _ = panels
+        assert fig7a.metadata["runs"] == 1
+
+
+class TestFigure8Function:
+    def test_reduced_capacities(self):
+        result = figure8(runs=1, capacities=(10, 40))
+        assert result.experiment_id == "fig8"
+        assert {"BT(I)", "LOPT"} == set(result.series)
+        assert len(result.series["BT(I)"]) == 2
+        assert "bt_slope" in result.metadata
+        assert "log-log slopes" in result.text
+        for ratio in result.metadata["ratios"]:
+            assert ratio > 1.0

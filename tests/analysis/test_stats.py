@@ -1,0 +1,77 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import linear_fit, log_log_fit, mean, pearson_r, stdev
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev(self):
+        assert stdev([5.0]) == 0.0
+        assert stdev([1.0, 3.0]) == pytest.approx(math.sqrt(2))
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_r([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_r([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series(self):
+        assert pearson_r([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson_r([1], [1])
+        with pytest.raises(ValueError):
+            pearson_r([1, 2], [1])
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([0, 1, 2], [1, 3, 5])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_vertical_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([2, 2, 2], [1, 2, 3])
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-10, max_value=10).filter(lambda s: abs(s) > 1e-3),
+    )
+    def test_recovers_parameters(self, intercept, slope):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [slope * x + intercept for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.slope == pytest.approx(slope, rel=1e-6, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, rel=1e-6, abs=1e-5)
+
+
+class TestLogLogFit:
+    def test_power_law_slope(self):
+        # y = 3 * x^2 -> slope 2 in log-log space
+        xs = [1, 10, 100, 1000]
+        ys = [3 * x * x for x in xs]
+        fit = log_log_fit(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_log_fit([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            log_log_fit([1, 2], [-1, 2])

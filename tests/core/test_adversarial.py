@@ -1,0 +1,136 @@
+"""Tests for the adversarial instance families (Lemmas 4.2, 4.5, §4.3.4)."""
+
+import math
+
+import pytest
+
+from repro.core import lopt, merge_with, optimal_merge
+from repro.core.adversarial import (
+    bt_lower_bound_instance,
+    bt_lower_bound_optimal_cost,
+    disjoint_singletons,
+    huffman_instance,
+    left_to_right_schedule,
+    lm_gap_instance,
+    lm_gap_optimal_cost,
+)
+from repro.errors import InvalidInstanceError
+
+
+class TestBtLowerBoundFamily:
+    """Lemma 4.2: BALANCETREE pays Omega(log n) on this family."""
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_left_to_right_cost_is_4n_minus_3(self, n):
+        inst = bt_lower_bound_instance(n)
+        schedule = left_to_right_schedule(n)
+        assert schedule.replay(inst).simplified_cost == bt_lower_bound_optimal_cost(n)
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_left_to_right_is_optimal(self, n):
+        inst = bt_lower_bound_instance(n)
+        assert optimal_merge(inst).cost == bt_lower_bound_optimal_cost(n)
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_bt_pays_n_log_n(self, n):
+        inst = bt_lower_bound_instance(n)
+        cost = merge_with("BT(I)", inst).replay(inst).simplified_cost
+        assert cost >= n * (math.log2(n) + 1)
+
+    @pytest.mark.parametrize("n", [16, 32, 64])
+    def test_gap_grows_logarithmically(self, n):
+        """cost(BT) / cost(opt schedule) >= log2(n) / 4 (loose but growing)."""
+        inst = bt_lower_bound_instance(n)
+        bt = merge_with("BT(I)", inst).replay(inst).simplified_cost
+        opt_like = bt_lower_bound_optimal_cost(n)
+        assert bt / opt_like >= math.log2(n) / 4
+
+    def test_si_avoids_the_trap(self):
+        """SI defers the big set, achieving the optimal shape."""
+        n = 16
+        inst = bt_lower_bound_instance(n)
+        si = merge_with("SI", inst).replay(inst).simplified_cost
+        assert si == bt_lower_bound_optimal_cost(n)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(InvalidInstanceError):
+            bt_lower_bound_instance(1)
+
+
+class TestDisjointSingletons:
+    """Lemma 4.5: greedy is log n above LOPT (but equal to OPT)."""
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_greedy_cost_vs_lopt(self, n):
+        inst = disjoint_singletons(n)
+        assert lopt(inst) == n
+        cost = merge_with("SI", inst).replay(inst).simplified_cost
+        # complete binary tree: n at each of log n + 1 levels
+        assert cost == n * (math.log2(n) + 1)
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_greedy_still_optimal(self, n):
+        """The log n gap is against LOPT, not OPT (the paper's remark)."""
+        inst = disjoint_singletons(n)
+        assert merge_with("SI", inst).replay(inst).simplified_cost == optimal_merge(inst).cost
+
+
+class TestLmGapFamily:
+    """§4.3.4: LARGESTMATCH pays Omega(n) on the nested chain."""
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_left_to_right_cost_formula(self, n):
+        inst = lm_gap_instance(n)
+        schedule = left_to_right_schedule(n)
+        assert schedule.replay(inst).simplified_cost == lm_gap_optimal_cost(n)
+
+    @pytest.mark.parametrize("n", [5, 8])
+    def test_lm_cost_formula(self, n):
+        """LM merges the largest set every time: all outputs are {1..2^(n-1)}."""
+        inst = lm_gap_instance(n)
+        cost = merge_with("LM", inst).replay(inst).simplified_cost
+        leaves = 2**n - 1
+        assert cost == leaves + (n - 1) * 2 ** (n - 1)
+
+    @pytest.mark.parametrize("n", [6, 8, 10])
+    def test_gap_grows_linearly(self, n):
+        inst = lm_gap_instance(n)
+        lm = merge_with("LM", inst).replay(inst).simplified_cost
+        assert lm / lm_gap_optimal_cost(n) >= (n - 1) / 4
+
+    def test_left_to_right_is_optimal_small(self):
+        inst = lm_gap_instance(5)
+        assert optimal_merge(inst).cost == lm_gap_optimal_cost(5)
+
+    def test_bounds_on_n(self):
+        with pytest.raises(InvalidInstanceError):
+            lm_gap_instance(1)
+        with pytest.raises(InvalidInstanceError):
+            lm_gap_instance(21)
+
+
+class TestHuffmanInstance:
+    def test_sizes_and_disjointness(self):
+        inst = huffman_instance([3, 1, 4])
+        assert inst.sizes() == (3, 1, 4)
+        assert inst.is_disjoint
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(InvalidInstanceError):
+            huffman_instance([])
+        with pytest.raises(InvalidInstanceError):
+            huffman_instance([1, 0])
+
+
+class TestLeftToRightSchedule:
+    def test_shape_is_caterpillar(self):
+        from repro.core.hardness import is_caterpillar
+
+        schedule = left_to_right_schedule(6)
+        tree, _ = schedule.to_tree()
+        assert is_caterpillar(tree)
+        assert tree.height == 5
+
+    def test_rejects_n_below_two(self):
+        with pytest.raises(InvalidInstanceError):
+            left_to_right_schedule(1)

@@ -1,0 +1,149 @@
+"""Tests for the paper's bounds and approximation guarantees.
+
+Covers Lemmas 4.1-4.6 plus Lemma B.1 and the Huffman special case.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    balance_tree_bound,
+    freq_binary_merging,
+    freq_bound,
+    harmonic,
+    lopt,
+    merge_with,
+    optimal_merge,
+    smallest_heuristic_bound,
+    trivial_upper_bound,
+)
+from repro.core.adversarial import huffman_instance
+from tests.helpers import disjoint_instances, instances, random_instance
+
+
+class TestBoundValues:
+    def test_harmonic(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+    def test_smallest_heuristic_bound(self):
+        assert smallest_heuristic_bound(1) == 3.0
+        assert smallest_heuristic_bound(4) == pytest.approx(2 * harmonic(4) + 1)
+
+    def test_balance_tree_bound(self):
+        assert balance_tree_bound(1) == 1.0
+        assert balance_tree_bound(8) == 4.0
+        assert balance_tree_bound(9) == 5.0
+        with pytest.raises(ValueError):
+            balance_tree_bound(0)
+
+
+class TestLemma41BalanceTree:
+    """BT cost <= (ceil(log2 n) + 1) * OPT."""
+
+    @given(instances(max_sets=7, universe=8))
+    @settings(max_examples=40, deadline=None)
+    def test_bt_within_bound(self, inst):
+        opt = optimal_merge(inst).cost
+        cost = merge_with("BT(I)", inst).replay(inst).simplified_cost
+        assert cost <= balance_tree_bound(inst.n) * opt + 1e-9
+
+
+class TestLemma44Smallest:
+    """SI and SO cost <= (2 H_n + 1) * OPT."""
+
+    @given(instances(max_sets=7, universe=8))
+    @settings(max_examples=40, deadline=None)
+    def test_si_so_within_bound(self, inst):
+        opt = optimal_merge(inst).cost
+        bound = smallest_heuristic_bound(inst.n)
+        for policy in ("SI", "SO"):
+            cost = merge_with(policy, inst).replay(inst).simplified_cost
+            assert cost <= bound * opt + 1e-9
+
+
+class TestLemma43Huffman:
+    """SI/SO are optimal on disjoint instances."""
+
+    @given(disjoint_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_si_optimal_on_disjoint(self, inst):
+        opt = optimal_merge(inst).cost
+        for policy in ("SI", "SO"):
+            cost = merge_with(policy, inst).replay(inst).simplified_cost
+            assert cost == opt
+
+    def test_known_huffman_instance(self):
+        # sizes 1,1,2,3,5: classic Huffman merge cost
+        inst = huffman_instance([1, 1, 2, 3, 5])
+        opt = optimal_merge(inst).cost
+        si = merge_with("SI", inst).replay(inst).simplified_cost
+        assert si == opt
+        # Huffman external path cost: merge outputs 2,4,7,12 + leaves 12
+        assert si == 12 + 2 + 4 + 7 + 12
+
+
+class TestLemma46FreqApprox:
+    """FREQBINARYMERGING cost <= f * OPT."""
+
+    @given(instances(max_sets=6, universe=8))
+    @settings(max_examples=40, deadline=None)
+    def test_freq_within_bound(self, inst):
+        opt = optimal_merge(inst).cost
+        result = freq_binary_merging(inst)
+        cost = result.replay(inst).simplified_cost
+        assert cost <= freq_bound(inst) * opt + 1e-9
+
+    @given(disjoint_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_freq_optimal_when_disjoint(self, inst):
+        """f = 1 on disjoint instances, so the approximation is exact."""
+        assert freq_bound(inst) == 1
+        result = freq_binary_merging(inst)
+        assert result.replay(inst).simplified_cost == optimal_merge(inst).cost
+
+    def test_dummy_cost_recorded(self):
+        inst = random_instance(n=6, universe=12, seed=3)
+        result = freq_binary_merging(inst)
+        assert result.extras["dummy_simplified_cost"] >= lopt(inst)
+        assert result.extras["heuristic"] == "smallest_input"
+        assert result.policy_name == "freq_binary_merging"
+
+
+class TestLemmaA3TrivialBound:
+    @given(instances(max_sets=6, universe=8))
+    @settings(max_examples=40, deadline=None)
+    def test_any_schedule_below_2mn(self, inst):
+        cap = trivial_upper_bound(inst)
+        for policy in ("SI", "SO", "BT(I)", "LM", "random"):
+            cost = merge_with(policy, inst, seed=0).replay(inst).simplified_cost
+            assert cost <= cap
+
+
+class TestLemmaB1:
+    """Sum of the two smallest of n reals is <= (2/n) * total."""
+
+    @given(st.lists(st.integers(0, 10**6), min_size=2, max_size=50))
+    def test_two_smallest_bound(self, values):
+        ordered = sorted(values)
+        total = sum(values)
+        n = len(values)
+        assert ordered[0] + ordered[1] <= 2 * total / n + 1e-9
+
+
+class TestLoptLowerBound:
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_lopt_below_every_schedule(self, inst):
+        bound = lopt(inst)
+        for policy in ("SI", "SO", "BT(I)"):
+            cost = merge_with(policy, inst).replay(inst).simplified_cost
+            assert bound <= cost
+
+    @given(instances(max_sets=6, universe=8))
+    @settings(max_examples=30, deadline=None)
+    def test_lopt_below_optimal(self, inst):
+        assert lopt(inst) <= optimal_merge(inst).cost

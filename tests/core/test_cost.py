@@ -1,0 +1,121 @@
+"""Tests for the cost functions and the paper's cost identities."""
+
+import pytest
+from hypothesis import given
+
+from repro.core import (
+    CardinalityCost,
+    InitOverheadCost,
+    MergeInstance,
+    WeightedKeyCost,
+    actual_cost,
+    merge_with,
+    per_element_cost,
+    simplified_cost,
+    submodular_merge_cost,
+)
+from repro.core.tree import balanced_tree
+from tests.helpers import instances, worked_example
+
+
+class TestCostFunctions:
+    def test_cardinality(self):
+        assert CardinalityCost().of({1, 2, 3}) == 3
+
+    def test_weighted(self):
+        fn = WeightedKeyCost({1: 2.0, 2: 0.5}, default_weight=1.0)
+        assert fn.of({1, 2, 3}) == pytest.approx(3.5)
+
+    def test_weighted_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WeightedKeyCost({1: -1.0})
+        with pytest.raises(ValueError):
+            WeightedKeyCost({}, default_weight=-0.1)
+
+    def test_init_overhead(self):
+        fn = InitOverheadCost(overhead=5.0)
+        assert fn.of({1, 2}) == 7.0
+
+    def test_init_overhead_rejects_negative(self):
+        with pytest.raises(ValueError):
+            InitOverheadCost(overhead=-1.0)
+
+    def test_callable_protocol(self):
+        fn = CardinalityCost()
+        assert fn({1}) == fn.of({1}) == 1
+
+
+class TestTreeCosts:
+    def test_worked_example_balanced(self):
+        inst = worked_example()
+        tree = balanced_tree(5)
+        # balanced_tree(5) splits 3|2: ((A1 A2 A3)(A4 A5)) — not the
+        # paper's BT tree; just verify internal consistency here.
+        simplified = simplified_cost(tree, inst)
+        actual = actual_cost(tree, inst)
+        assert actual == 2 * simplified - inst.total_input_size - inst.ground_size
+
+    def test_per_element_equals_simplified(self):
+        inst = worked_example()
+        tree = balanced_tree(5)
+        assert per_element_cost(tree, inst) == simplified_cost(tree, inst)
+
+    def test_submodular_cost_excludes_leaves(self):
+        inst = worked_example()
+        tree = balanced_tree(5)
+        assert (
+            submodular_merge_cost(tree, inst)
+            == simplified_cost(tree, inst) - inst.total_input_size
+        )
+
+    def test_assignment_changes_cost(self):
+        # Placing the two overlapping sets together is cheaper.
+        inst = MergeInstance.from_iterables([{1, 2, 3}, {4}, {1, 2, 3}, {5}])
+        tree = balanced_tree(4)
+        together = simplified_cost(tree, inst, assignment=(0, 2, 1, 3))
+        apart = simplified_cost(tree, inst, assignment=(0, 1, 2, 3))
+        assert together < apart
+
+
+class TestCostIdentities:
+    """The identities relating the paper's three cost formulations."""
+
+    @given(instances())
+    def test_actual_vs_simplified_identity(self, inst):
+        for policy in ("SI", "SO", "BT(I)"):
+            schedule = merge_with(policy, inst).schedule
+            tree, assignment = schedule.to_tree()
+            simplified = simplified_cost(tree, inst, assignment)
+            actual = actual_cost(tree, inst, assignment)
+            root_size = len(inst.ground_set)
+            assert actual == 2 * simplified - inst.total_input_size - root_size
+
+    @given(instances())
+    def test_per_element_identity(self, inst):
+        """Eq. (2.2) == eq. (2.1) for the cardinality cost."""
+        schedule = merge_with("SI", inst).schedule
+        tree, assignment = schedule.to_tree()
+        assert per_element_cost(tree, inst, assignment) == simplified_cost(
+            tree, inst, assignment
+        )
+
+    @given(instances(max_sets=5))
+    def test_literal_subtree_construction_agrees(self, inst):
+        """The explicit minimal-subtree T(x) construction matches the
+        containing-node count — i.e. the connectivity argument holds."""
+        from repro.core import per_element_cost_literal
+
+        for policy in ("SI", "random"):
+            schedule = merge_with(policy, inst, seed=3).schedule
+            tree, assignment = schedule.to_tree()
+            assert per_element_cost_literal(
+                tree, inst, assignment
+            ) == per_element_cost(tree, inst, assignment)
+
+    @given(instances())
+    def test_replay_matches_tree_costs(self, inst):
+        result = merge_with("SO", inst)
+        replay = result.replay(inst)
+        tree, assignment = result.schedule.to_tree()
+        assert replay.simplified_cost == simplified_cost(tree, inst, assignment)
+        assert replay.actual_cost == actual_cost(tree, inst, assignment)

@@ -1,0 +1,74 @@
+"""Tests for FREQBINARYMERGING (Algorithm 2, §4.4)."""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    MergeInstance,
+    freq_binary_merging,
+    make_dummy_instance,
+    optimal_merge,
+)
+from tests.helpers import instances, random_instance, worked_example
+
+
+class TestDummyInstance:
+    def test_dummy_sets_are_disjoint(self):
+        inst = worked_example()
+        dummy = make_dummy_instance(inst)
+        assert dummy.is_disjoint
+
+    def test_dummy_sizes_match(self):
+        inst = worked_example()
+        dummy = make_dummy_instance(inst)
+        assert dummy.sizes() == inst.sizes()
+
+    def test_dummy_elements_are_tagged(self):
+        inst = MergeInstance.from_iterables([{1, 2}, {2}])
+        dummy = make_dummy_instance(inst)
+        assert dummy.sets[0] == frozenset({(1, 0), (2, 0)})
+        assert dummy.sets[1] == frozenset({(2, 1)})
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_dummy_always_disjoint(self, inst):
+        assert make_dummy_instance(inst).is_disjoint
+
+
+class TestAlgorithm2:
+    def test_schedule_valid_on_original(self):
+        inst = random_instance(n=8, universe=20, seed=0)
+        result = freq_binary_merging(inst)
+        result.schedule.validate(max_inputs=2)
+        assert result.replay(inst).final_set == inst.ground_set
+
+    def test_cost_below_dummy_cost(self):
+        """Lemma 4.6 step 1: Cost <= Cost' (labels only shrink)."""
+        inst = random_instance(n=8, universe=12, seed=1)
+        result = freq_binary_merging(inst)
+        real = result.replay(inst).simplified_cost
+        assert real <= result.extras["dummy_simplified_cost"]
+
+    @given(instances(max_sets=6, universe=8))
+    @settings(max_examples=40, deadline=None)
+    def test_f_approximation_guarantee(self, inst):
+        opt = optimal_merge(inst).cost
+        result = freq_binary_merging(inst)
+        cost = result.replay(inst).simplified_cost
+        assert cost <= inst.max_frequency * opt + 1e-9
+
+    def test_kway_variant(self):
+        inst = random_instance(n=9, universe=15, seed=2)
+        result = freq_binary_merging(inst, k=3)
+        result.schedule.validate(max_inputs=3)
+
+    def test_alternate_heuristic(self):
+        inst = random_instance(n=6, universe=12, seed=3)
+        result = freq_binary_merging(inst, heuristic="smallest_output")
+        assert result.extras["heuristic"] == "smallest_output"
+        result.schedule.validate(max_inputs=2)
+
+    def test_seeded_runs_reproducible(self):
+        inst = random_instance(n=7, universe=14, seed=4)
+        a = freq_binary_merging(inst, seed=11).schedule
+        b = freq_binary_merging(inst, seed=11).schedule
+        assert a == b

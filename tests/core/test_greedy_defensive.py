@@ -1,0 +1,88 @@
+"""Defensive-path tests: the greedy framework rejects misbehaving policies."""
+
+import pytest
+
+from repro.core import GreedyMerger, MergeInstance
+from repro.core.policies.base import ChoosePolicy, GreedyState
+from repro.errors import PolicyError
+from tests.helpers import worked_example
+
+
+class _SingleChoicePolicy(ChoosePolicy):
+    name = "single"
+
+    def choose(self, state: GreedyState):
+        return (next(iter(state.live)),)
+
+
+class _DuplicateChoicePolicy(ChoosePolicy):
+    name = "duplicate"
+
+    def choose(self, state: GreedyState):
+        first = next(iter(state.live))
+        return (first, first)
+
+
+class _DeadTablePolicy(ChoosePolicy):
+    name = "dead"
+
+    def __init__(self):
+        self.calls = 0
+
+    def choose(self, state: GreedyState):
+        self.calls += 1
+        if self.calls == 1:
+            return tuple(sorted(state.live))[:2]
+        # second call names the table consumed in the first merge
+        return (0, max(state.live))
+
+
+class _TooManyPolicy(ChoosePolicy):
+    name = "toomany"
+
+    def choose(self, state: GreedyState):
+        return tuple(sorted(state.live))[:3]
+
+
+class TestPolicyValidation:
+    def test_single_table_choice_rejected(self):
+        with pytest.raises(PolicyError, match="chose 1 tables"):
+            GreedyMerger(_SingleChoicePolicy()).run(worked_example())
+
+    def test_duplicate_choice_rejected(self):
+        with pytest.raises(PolicyError, match="duplicate"):
+            GreedyMerger(_DuplicateChoicePolicy()).run(worked_example())
+
+    def test_dead_table_choice_rejected(self):
+        with pytest.raises(PolicyError, match="dead table"):
+            GreedyMerger(_DeadTablePolicy()).run(worked_example())
+
+    def test_over_arity_choice_rejected(self):
+        with pytest.raises(PolicyError, match="expected between 2 and 2"):
+            GreedyMerger(_TooManyPolicy(), k=2).run(worked_example())
+
+    def test_custom_policy_can_work(self):
+        """A well-behaved custom policy integrates with no registration."""
+
+        class FirstTwoPolicy(ChoosePolicy):
+            name = "first-two"
+
+            def choose(self, state: GreedyState):
+                ordered = sorted(state.live)
+                return tuple(ordered[:2])
+
+        inst = worked_example()
+        result = GreedyMerger(FirstTwoPolicy()).run(inst)
+        result.schedule.validate(max_inputs=2)
+        assert result.replay(inst).final_set == inst.ground_set
+        assert result.policy_name == "first-two"
+
+
+class TestStateHelpers:
+    def test_arity_for_next_merge_caps_at_live(self):
+        inst = MergeInstance.from_iterables([{1}, {2}, {3}])
+        merger = GreedyMerger("SI", k=5)
+        result = merger.run(inst)
+        # 3 tables, k=5 -> one 3-way merge
+        assert result.schedule.n_steps == 1
+        assert result.schedule.steps[0].arity == 3

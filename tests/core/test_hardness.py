@@ -1,0 +1,192 @@
+"""Tests for the NP-hardness apparatus (Appendix A), verified numerically."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MergeInstance, optimal_merge
+from repro.core.hardness import (
+    assignment_cost,
+    caterpillar_tree,
+    data_arrangement_cost,
+    forcing_pad_size,
+    is_caterpillar,
+    opt_tree_assign_bruteforce,
+    opt_tree_assign_local_search,
+    pad_with_disjoint,
+    padded_cost_identity,
+    sets_from_graph,
+)
+from repro.core.tree import balanced_tree, is_perfect_binary
+from repro.errors import InvalidInstanceError
+from tests.helpers import random_instance
+
+
+class TestCaterpillar:
+    def test_shape(self):
+        tree = caterpillar_tree(6)
+        assert tree.n_leaves == 6
+        assert tree.height == 5
+        assert is_caterpillar(tree)
+
+    def test_balanced_is_not_caterpillar(self):
+        assert not is_caterpillar(balanced_tree(8))
+        # tiny trees are trivially caterpillars
+        assert is_caterpillar(balanced_tree(2))
+
+
+class TestSetsFromGraph:
+    def test_lemma_a1_construction(self):
+        # path graph 0-1-2-3: A_0={e0}, A_1={e0,e1}, ...
+        inst = sets_from_graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert inst.sets == (
+            frozenset({0}),
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+            frozenset({2}),
+        )
+
+    def test_edge_frequency_is_two(self):
+        inst = sets_from_graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert inst.max_frequency == 2
+
+    def test_rejects_isolated_vertices(self):
+        with pytest.raises(InvalidInstanceError):
+            sets_from_graph(3, [(0, 1)])
+
+    def test_rejects_self_loops_and_bad_ids(self):
+        with pytest.raises(InvalidInstanceError):
+            sets_from_graph(2, [(0, 0)])
+        with pytest.raises(InvalidInstanceError):
+            sets_from_graph(2, [(0, 5)])
+
+
+class TestDataArrangementCost:
+    def test_pairs_on_balanced_tree(self):
+        tree = balanced_tree(4)
+        # siblings are at distance 2; cousins at distance 4
+        edges = [(0, 1), (0, 2)]
+        cost = data_arrangement_cost(tree, placement=[0, 1, 2, 3], edges=edges)
+        assert cost == 2 + 4
+
+    def test_placement_matters(self):
+        tree = balanced_tree(4)
+        edges = [(0, 1)]
+        near = data_arrangement_cost(tree, [0, 1, 2, 3], edges)
+        far = data_arrangement_cost(tree, [0, 3, 2, 1], edges)
+        assert near < far
+
+
+class TestLemmaA1Identity:
+    """cost(T, pi, A) = |E| log(2n) + (1/2) sum d_T(pi(i), pi(j))."""
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_identity_on_random_graphs(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = 4
+        # random graph on 4 vertices with min degree 1
+        edges = []
+        for u in range(n):
+            v = rng.choice([x for x in range(n) if x != u])
+            edges.append((min(u, v), max(u, v)))
+        edges = sorted(set(edges))
+        inst = sets_from_graph(n, edges)
+        tree = balanced_tree(n)
+        placement = list(range(n))
+        rng.shuffle(placement)
+        # placement[vertex] = leaf position; assignment[position] = set idx
+        assignment = [0] * n
+        for vertex, position in enumerate(placement):
+            assignment[position] = vertex
+        lhs = assignment_cost(tree, inst, tuple(assignment))
+        rhs = len(edges) * math.log2(2 * n) + 0.5 * data_arrangement_cost(
+            tree, placement, edges
+        )
+        assert lhs == pytest.approx(rhs)
+
+
+class TestPadding:
+    def test_pad_sizes(self):
+        inst = random_instance(n=4, universe=10, seed=0)
+        padded = pad_with_disjoint(inst, 5)
+        for original, new in zip(inst.sets, padded.sets):
+            assert len(new) == len(original) + 5
+        assert padded.ground_size == inst.ground_size + 4 * 5
+
+    def test_pad_rejects_nonpositive(self):
+        inst = random_instance(n=3, universe=5, seed=1)
+        with pytest.raises(InvalidInstanceError):
+            pad_with_disjoint(inst, 0)
+
+    def test_forcing_pad_size_formula(self):
+        inst = random_instance(n=4, universe=10, seed=2)
+        assert forcing_pad_size(inst) == 2 * inst.ground_size * inst.n + 1
+
+    @given(st.integers(0, 100), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_lemma_a4_identity(self, seed, pad_size):
+        """cost(T, pi, A u B) == cost(T, pi, A) + S * eta(T)."""
+        inst = random_instance(n=4, universe=8, seed=seed)
+        for tree in (balanced_tree(4), caterpillar_tree(4)):
+            lhs, rhs = padded_cost_identity(tree, inst, pad_size)
+            assert lhs == pytest.approx(rhs)
+
+
+class TestLemmaA5Forcing:
+    """Padding with S > 2mn forces the optimal merge tree to be perfect."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_optimal_tree_is_perfect_after_padding(self, seed):
+        inst = random_instance(n=4, universe=6, seed=seed)
+        padded = pad_with_disjoint(inst, forcing_pad_size(inst))
+        result = optimal_merge(padded)
+        tree, _ = result.schedule.to_tree()
+        assert is_perfect_binary(tree)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lemma_a5_cost_equation(self, seed):
+        """opta(T-bar, A) == opts(A u B) - S n log(2n)."""
+        n = 4
+        inst = random_instance(n=n, universe=6, seed=seed)
+        pad = forcing_pad_size(inst)
+        padded = pad_with_disjoint(inst, pad)
+        opts_padded = optimal_merge(padded).cost
+        opta, _ = opt_tree_assign_bruteforce(balanced_tree(n), inst)
+        assert opta == pytest.approx(opts_padded - pad * n * math.log2(2 * n))
+
+
+class TestOptTreeAssign:
+    def test_bruteforce_identity_tree(self):
+        inst = MergeInstance.from_iterables([{1, 2}, {1, 2}, {3}, {4}])
+        cost, assignment = opt_tree_assign_bruteforce(balanced_tree(4), inst)
+        # optimal pairs the duplicates: check they are siblings
+        position_of = {set_index: pos for pos, set_index in enumerate(assignment)}
+        assert abs(position_of[0] - position_of[1]) == 1
+        assert position_of[0] // 2 == position_of[1] // 2
+
+    def test_bruteforce_cap(self):
+        inst = random_instance(n=10, universe=10, seed=3)
+        with pytest.raises(InvalidInstanceError):
+            opt_tree_assign_bruteforce(balanced_tree(10), inst)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_local_search_upper_bounds_bruteforce(self, seed):
+        inst = random_instance(n=6, universe=8, seed=seed)
+        tree = balanced_tree(6)
+        exact, _ = opt_tree_assign_bruteforce(tree, inst)
+        approx, _ = opt_tree_assign_local_search(tree, inst, restarts=3, seed=seed)
+        assert approx >= exact
+        assert approx <= exact * 1.5  # local search should be close
+
+    def test_caterpillar_vs_balanced_assignment(self):
+        """OPT-TREE-ASSIGN depends on the tree shape."""
+        inst = MergeInstance.from_iterables([{1}, {1}, {1}, {1, 2, 3, 4}])
+        cat_cost, _ = opt_tree_assign_bruteforce(caterpillar_tree(4), inst)
+        bal_cost, _ = opt_tree_assign_bruteforce(balanced_tree(4), inst)
+        # caterpillar can defer the big set to the root's sibling leaf
+        assert cat_cost < bal_cost

@@ -1,0 +1,61 @@
+"""Tests for MergeInstance validation and derived quantities."""
+
+import pytest
+
+from repro.core import MergeInstance
+from repro.errors import InvalidInstanceError
+from tests.helpers import worked_example
+
+
+class TestConstruction:
+    def test_from_iterables_freezes(self):
+        inst = MergeInstance.from_iterables([[1, 2], [2, 3]])
+        assert inst.sets == (frozenset({1, 2}), frozenset({2, 3}))
+
+    def test_rejects_empty_collection(self):
+        with pytest.raises(InvalidInstanceError):
+            MergeInstance(())
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(InvalidInstanceError):
+            MergeInstance.from_iterables([{1}, set()])
+
+    def test_rejects_unfrozen_sets(self):
+        with pytest.raises(InvalidInstanceError):
+            MergeInstance(({1, 2},))  # type: ignore[arg-type]
+
+    def test_single_set_is_valid(self):
+        inst = MergeInstance.from_iterables([{1, 2, 3}])
+        assert inst.n == 1
+
+
+class TestDerivedQuantities:
+    def test_worked_example_summary(self):
+        inst = worked_example()
+        assert inst.n == 5
+        assert inst.ground_size == 9
+        assert inst.total_input_size == 17
+        assert inst.max_frequency == 3  # element 3 appears in A1, A2, A3
+        assert not inst.is_disjoint
+
+    def test_element_frequencies(self):
+        inst = MergeInstance.from_iterables([{1, 2}, {2, 3}, {2}])
+        assert inst.element_frequencies == {1: 1, 2: 3, 3: 1}
+
+    def test_disjoint_detection(self):
+        assert MergeInstance.from_iterables([{1}, {2}, {3}]).is_disjoint
+        assert not MergeInstance.from_iterables([{1}, {1, 2}]).is_disjoint
+
+    def test_sizes_order(self):
+        inst = worked_example()
+        assert inst.sizes() == (4, 4, 3, 3, 3)
+
+    def test_iteration_and_indexing(self):
+        inst = worked_example()
+        assert len(inst) == 5
+        assert list(inst)[2] == frozenset({3, 4, 5})
+        assert inst[0] == frozenset({1, 2, 3, 5})
+
+    def test_describe_mentions_key_stats(self):
+        text = worked_example().describe()
+        assert "n=5" in text and "LOPT=17" in text and "f=3" in text

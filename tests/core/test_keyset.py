@@ -1,0 +1,68 @@
+"""Tests for key-set helpers and the bitset encoder."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.keyset import BitsetEncoder, freeze, freeze_all, union_all
+
+
+class TestFreeze:
+    def test_freeze_list(self):
+        assert freeze([1, 2, 2]) == frozenset({1, 2})
+
+    def test_freeze_identity_for_frozenset(self):
+        s = frozenset({1})
+        assert freeze(s) is s
+
+    def test_freeze_all(self):
+        assert freeze_all([[1], [2, 2]]) == (frozenset({1}), frozenset({2}))
+
+
+class TestUnionAll:
+    def test_union_empty(self):
+        assert union_all([]) == frozenset()
+
+    def test_union_overlapping(self):
+        assert union_all([{1, 2}, {2, 3}, {4}]) == frozenset({1, 2, 3, 4})
+
+
+class TestBitsetEncoder:
+    def test_roundtrip(self):
+        enc = BitsetEncoder()
+        s = frozenset({"a", "b", "c"})
+        assert enc.decode(enc.encode(s)) == s
+
+    def test_union_via_or(self):
+        enc = BitsetEncoder([{1, 2}, {2, 3}])
+        a = enc.encode({1, 2})
+        b = enc.encode({2, 3})
+        assert (a | b).bit_count() == 3
+        assert enc.decode(a | b) == frozenset({1, 2, 3})
+
+    def test_deterministic_positions(self):
+        enc = BitsetEncoder([{5}, {7}])
+        assert enc.key_at(0) == 5
+        assert enc.key_at(1) == 7
+        assert enc.universe_size == 2
+
+    def test_encode_registers_new_keys(self):
+        enc = BitsetEncoder()
+        enc.encode({10})
+        assert enc.universe_size == 1
+
+    @given(st.lists(st.frozensets(st.integers(0, 30), min_size=1), min_size=1, max_size=6))
+    def test_cardinality_matches_bit_count(self, sets):
+        enc = BitsetEncoder(sets)
+        for s in sets:
+            assert enc.encode(s).bit_count() == len(s)
+
+    @given(
+        st.frozensets(st.integers(0, 30)),
+        st.frozensets(st.integers(0, 30)),
+    )
+    def test_set_algebra_is_preserved(self, a, b):
+        enc = BitsetEncoder()
+        ea, eb = enc.encode(a), enc.encode(b)
+        assert enc.decode(ea | eb) == a | b
+        assert enc.decode(ea & eb) == a & b
+        assert (ea & eb).bit_count() == len(a & b)

@@ -1,0 +1,135 @@
+"""Tests for the K-slot minor-compaction module."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minor import (
+    MergeAllPolicy,
+    MinorPolicy,
+    TieredPolicy,
+    offline_optimal_minor,
+    simulate_minor,
+)
+from repro.errors import InvalidInstanceError
+
+ARRIVALS = st.lists(st.integers(1, 20), min_size=1, max_size=12)
+
+
+class TestSimulation:
+    def test_no_merge_needed_within_bound(self):
+        result = simulate_minor([5, 3], MergeAllPolicy(), k_slots=3)
+        assert result.total_cost == 0
+        assert result.final_stack == (5, 3)
+
+    def test_merge_all_collapses(self):
+        result = simulate_minor([1, 1, 1], MergeAllPolicy(), k_slots=2)
+        # third arrival trips the bound; everything merges: cost 3
+        assert result.total_cost == 3
+        assert result.final_stack == (3,)
+        assert result.n_merges == 1
+
+    def test_merge_all_rewrites_old_data_repeatedly(self):
+        # arrivals of 1 with k=2: merges at t=2 (cost 3), t=4 (cost 5), ...
+        result = simulate_minor([1] * 7, MergeAllPolicy(), k_slots=2)
+        assert [m.output_size for m in result.merges] == [3, 5, 7]
+        assert result.total_cost == 15
+
+    def test_tiered_keeps_decreasing_stack(self):
+        result = simulate_minor([4, 4, 4, 4], TieredPolicy(), k_slots=3)
+        stack = result.final_stack
+        assert all(a > b for a, b in zip(stack, stack[1:]))
+
+    def test_depth_bound_enforced(self):
+        class LazyPolicy(MinorPolicy):
+            name = "lazy"
+
+            def suffix_to_merge(self, stack, k_slots):
+                return 0
+
+        with pytest.raises(InvalidInstanceError, match="left"):
+            simulate_minor([1, 1, 1], LazyPolicy(), k_slots=2)
+
+    def test_bad_suffix_rejected(self):
+        class BadPolicy(MinorPolicy):
+            name = "bad"
+
+            def suffix_to_merge(self, stack, k_slots):
+                return 1 if len(stack) > k_slots else 0
+
+        with pytest.raises(InvalidInstanceError, match="invalid suffix"):
+            simulate_minor([1, 1, 1], BadPolicy(), k_slots=2)
+
+    def test_input_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            simulate_minor([1], MergeAllPolicy(), k_slots=0)
+        with pytest.raises(InvalidInstanceError):
+            simulate_minor([0], MergeAllPolicy(), k_slots=2)
+
+    @given(ARRIVALS, st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_policies_respect_bound(self, arrivals, k_slots):
+        for policy in (MergeAllPolicy(), TieredPolicy()):
+            result = simulate_minor(arrivals, policy, k_slots)
+            assert len(result.final_stack) <= k_slots
+            assert sum(result.final_stack) == sum(arrivals)
+
+
+class TestOfflineOptimal:
+    def test_empty(self):
+        assert offline_optimal_minor([], 2) == 0
+
+    def test_single_slot_forces_every_merge(self):
+        # k=1: each arrival after the first must merge into the one run.
+        # arrivals 1,1,1: costs 2 then 3 -> 5.
+        assert offline_optimal_minor([1, 1, 1], 1) == 5
+
+    def test_known_tiny_case(self):
+        # k=2, arrivals 1,1,1: merge the two newest at t=2 (cost 2).
+        assert offline_optimal_minor([1, 1, 1], 2) == 2
+
+    def test_more_slots_never_cost_more(self):
+        arrivals = [3, 1, 4, 1, 5, 9, 2, 6]
+        costs = [offline_optimal_minor(arrivals, k) for k in (1, 2, 3, 4)]
+        assert costs == sorted(costs, reverse=True)
+
+    @given(ARRIVALS, st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_optimal_lower_bounds_policies(self, arrivals, k_slots):
+        optimum = offline_optimal_minor(arrivals, k_slots)
+        for policy in (MergeAllPolicy(), TieredPolicy()):
+            result = simulate_minor(arrivals, policy, k_slots)
+            assert result.total_cost >= optimum
+
+    @given(ARRIVALS)
+    @settings(max_examples=30, deadline=None)
+    def test_unbounded_slots_cost_zero(self, arrivals):
+        assert offline_optimal_minor(arrivals, len(arrivals)) == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            offline_optimal_minor([1], 0)
+        with pytest.raises(InvalidInstanceError):
+            offline_optimal_minor([-1], 2)
+
+
+class TestPolicyComparison:
+    def test_tiered_beats_merge_all_on_long_runs(self):
+        """Merge-all is Theta(n^2 / k); tiered is quasi-linear.
+
+        The quadratic rewrite cost of collapsing everything dominates
+        once the run is long enough.
+        """
+        arrivals = [1] * 128
+        k = 3
+        merge_all = simulate_minor(arrivals, MergeAllPolicy(), k).total_cost
+        tiered = simulate_minor(arrivals, TieredPolicy(), k).total_cost
+        assert tiered < merge_all * 0.6
+
+    def test_merge_all_wins_short_runs(self):
+        """The crossover: for short runs eager tiering over-merges."""
+        arrivals = [1] * 16
+        k = 4
+        merge_all = simulate_minor(arrivals, MergeAllPolicy(), k).total_cost
+        tiered = simulate_minor(arrivals, TieredPolicy(), k).total_cost
+        assert merge_all < tiered

@@ -1,0 +1,126 @@
+"""Tests for the exact optimal solvers (subset DP and brute force)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MergeInstance,
+    brute_force_optimal,
+    enumerate_schedules,
+    lopt,
+    merge_with,
+    optimal_merge,
+    optimal_merge_kway,
+)
+from repro.core.cost import InitOverheadCost, WeightedKeyCost
+from repro.errors import InvalidInstanceError
+from tests.helpers import instances, random_instance, worked_example
+
+
+class TestBinaryOptimal:
+    def test_worked_example_optimum_is_40(self):
+        assert optimal_merge(worked_example()).cost == 40
+
+    def test_single_set(self):
+        inst = MergeInstance.from_iterables([{1, 2, 3}])
+        result = optimal_merge(inst)
+        assert result.cost == 3
+        assert result.schedule.n_steps == 0
+
+    def test_two_sets(self):
+        inst = MergeInstance.from_iterables([{1, 2}, {2, 3}])
+        result = optimal_merge(inst)
+        assert result.cost == 2 + 2 + 3
+
+    def test_schedule_achieves_reported_cost(self):
+        inst = worked_example()
+        result = optimal_merge(inst)
+        assert result.schedule.replay(inst).simplified_cost == result.cost
+
+    def test_rejects_large_instances(self):
+        inst = random_instance(n=19, universe=25, seed=0)
+        with pytest.raises(InvalidInstanceError):
+            optimal_merge(inst)
+
+    @given(instances(max_sets=5, universe=8))
+    @settings(max_examples=30, deadline=None)
+    def test_dp_matches_brute_force(self, inst):
+        dp = optimal_merge(inst)
+        brute = brute_force_optimal(inst, k=2)
+        assert dp.cost == brute.cost
+
+    @given(instances(max_sets=6, universe=8))
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_below_all_heuristics(self, inst):
+        opt = optimal_merge(inst).cost
+        assert opt >= lopt(inst)
+        for policy in ("SI", "SO", "BT(I)", "LM"):
+            heuristic = merge_with(policy, inst).replay(inst).simplified_cost
+            assert opt <= heuristic + 1e-9
+
+
+class TestKwayOptimal:
+    def test_kway_beats_binary(self):
+        inst = worked_example()
+        assert optimal_merge_kway(inst, 3).cost <= optimal_merge(inst).cost
+
+    def test_k_equals_two_matches_binary(self):
+        inst = worked_example()
+        assert optimal_merge_kway(inst, 2).cost == optimal_merge(inst).cost
+
+    def test_k_covering_n_merges_once(self):
+        inst = MergeInstance.from_iterables([{1}, {2}, {3}])
+        result = optimal_merge_kway(inst, 3)
+        # one 3-way merge: leaves 1+1+1 + root 3
+        assert result.cost == 6
+        assert result.schedule.n_steps == 1
+
+    def test_rejects_k_below_two(self):
+        with pytest.raises(InvalidInstanceError):
+            optimal_merge_kway(worked_example(), 1)
+
+    @given(instances(max_sets=5, universe=6), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_kway_dp_matches_brute_force(self, inst, k):
+        dp = optimal_merge_kway(inst, k)
+        brute = brute_force_optimal(inst, k=k)
+        assert dp.cost == brute.cost
+        assert dp.schedule.replay(inst).simplified_cost == dp.cost
+
+    @given(instances(max_sets=5, universe=6))
+    @settings(max_examples=20, deadline=None)
+    def test_kway_monotone_in_k(self, inst):
+        costs = [optimal_merge_kway(inst, k).cost for k in (2, 3, 4)]
+        assert costs[0] >= costs[1] >= costs[2]
+
+
+class TestCustomCostFunctions:
+    def test_weighted_optimal(self):
+        inst = MergeInstance.from_iterables([{1}, {2}, {3}])
+        heavy_one = WeightedKeyCost({1: 100.0})
+        result = optimal_merge(inst, heavy_one)
+        # optimal defers the heavy set: merge {2},{3} first
+        assert result.schedule.steps[0].inputs == (1, 2)
+
+    def test_init_overhead_optimal_matches_brute(self):
+        inst = worked_example()
+        fn = InitOverheadCost(overhead=3.0)
+        dp = optimal_merge(inst, fn)
+        brute = brute_force_optimal(inst, k=2, cost_fn=fn)
+        assert dp.cost == pytest.approx(brute.cost)
+
+
+class TestEnumeration:
+    def test_schedule_counts_binary(self):
+        # Number of binary merge histories: n=3 -> 3*1 = 3; n=4 -> 6*3*1 = 18
+        assert sum(1 for _ in enumerate_schedules(3, 2)) == 3
+        assert sum(1 for _ in enumerate_schedules(4, 2)) == 18
+
+    def test_all_enumerated_schedules_valid(self):
+        for schedule in enumerate_schedules(4, 3):
+            schedule.validate(max_inputs=3)
+
+    def test_enumerate_rejects_bad_n(self):
+        with pytest.raises(InvalidInstanceError):
+            list(enumerate_schedules(0, 2))

@@ -1,0 +1,146 @@
+"""Tests for MergeSchedule: validation, replay, tree round trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    MergeInstance,
+    MergeSchedule,
+    MergeStep,
+    evaluate_schedule,
+    merge_with,
+)
+from repro.core.cost import InitOverheadCost
+from repro.errors import InvalidScheduleError
+from tests.helpers import instances, worked_example
+
+
+def simple_schedule() -> MergeSchedule:
+    """((0+1) + (2+3)) over 4 tables."""
+    return MergeSchedule(
+        4, [MergeStep((0, 1), 4), MergeStep((2, 3), 5), MergeStep((4, 5), 6)]
+    )
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self):
+        simple_schedule().validate()
+
+    def test_step_requires_two_inputs(self):
+        with pytest.raises(InvalidScheduleError):
+            MergeStep((0,), 4)
+
+    def test_step_rejects_duplicate_inputs(self):
+        with pytest.raises(InvalidScheduleError):
+            MergeStep((0, 0), 4)
+
+    def test_wrong_output_id(self):
+        with pytest.raises(InvalidScheduleError, match="expected 4"):
+            MergeSchedule(4, [MergeStep((0, 1), 7)])
+
+    def test_reading_dead_table(self):
+        with pytest.raises(InvalidScheduleError, match="not live"):
+            MergeSchedule(
+                3, [MergeStep((0, 1), 3), MergeStep((0, 3), 4)]
+            )
+
+    def test_incomplete_schedule(self):
+        with pytest.raises(InvalidScheduleError, match="leaves 2"):
+            MergeSchedule(3, [MergeStep((0, 1), 3)])
+
+    def test_arity_cap(self):
+        schedule = MergeSchedule(3, [MergeStep((0, 1, 2), 3)])
+        schedule.validate(max_inputs=3)
+        with pytest.raises(InvalidScheduleError, match="cap"):
+            schedule.validate(max_inputs=2)
+
+    def test_single_table_schedule(self):
+        schedule = MergeSchedule(1, [])
+        assert schedule.final_id == 0
+        with pytest.raises(InvalidScheduleError):
+            MergeSchedule(1, [MergeStep((0, 0), 1)])
+
+    def test_from_input_groups(self):
+        schedule = MergeSchedule.from_input_groups(3, [(0, 1), (2, 3)])
+        assert schedule.steps == (MergeStep((0, 1), 3), MergeStep((2, 3), 4))
+
+
+class TestReplay:
+    def test_final_set_is_ground_set(self):
+        inst = MergeInstance.from_iterables([{1, 2}, {2, 3}, {4}, {5}])
+        replay = simple_schedule().replay(inst)
+        assert replay.final_set == inst.ground_set
+
+    def test_costs_on_known_schedule(self):
+        inst = MergeInstance.from_iterables([{1, 2}, {2, 3}, {4}, {5}])
+        replay = simple_schedule().replay(inst)
+        # leaves: 2+2+1+1 = 6; outputs: {1,2,3}=3, {4,5}=2, root=5
+        assert replay.simplified_cost == 6 + 3 + 2 + 5
+        # interior outputs counted twice: 16 + (3 + 2)
+        assert replay.actual_cost == 16 + 5
+        assert replay.submodular_cost == 3 + 2 + 5
+        assert replay.step_output_costs == (3, 2, 5)
+
+    def test_replay_rejects_size_mismatch(self):
+        inst = MergeInstance.from_iterables([{1}, {2}])
+        with pytest.raises(InvalidScheduleError):
+            simple_schedule().replay(inst)
+
+    def test_replay_with_submodular_cost(self):
+        inst = MergeInstance.from_iterables([{1, 2}, {2, 3}, {4}, {5}])
+        cost = InitOverheadCost(overhead=10.0)
+        replay = simple_schedule().replay(inst, cost)
+        # each node costs 10 + |set|: 7 nodes total
+        assert replay.simplified_cost == 16 + 70
+
+    def test_evaluate_schedule_summary(self):
+        inst = MergeInstance.from_iterables([{1, 2}, {2, 3}, {4}, {5}])
+        metrics = evaluate_schedule(simple_schedule(), inst)
+        assert metrics.simplified_cost == 16
+        assert metrics.n_steps == 3
+        assert metrics.max_arity == 2
+
+
+class TestTreeRoundTrip:
+    def test_to_tree_shape(self):
+        tree, assignment = simple_schedule().to_tree()
+        assert tree.n_leaves == 4
+        assert tree.is_binary
+        assert sorted(assignment) == [0, 1, 2, 3]
+
+    def test_round_trip_preserves_costs(self):
+        inst = worked_example()
+        result = merge_with("SI", inst)
+        tree, assignment = result.schedule.to_tree()
+        rebuilt = MergeSchedule.from_tree(tree, assignment)
+        assert (
+            rebuilt.replay(inst).simplified_cost
+            == result.schedule.replay(inst).simplified_cost
+        )
+
+    @given(instances())
+    def test_round_trip_costs_property(self, inst):
+        schedule = merge_with("SI", inst).schedule if inst.n > 1 else MergeSchedule(1, [])
+        replay = schedule.replay(inst)
+        tree, assignment = schedule.to_tree()
+        rebuilt = MergeSchedule.from_tree(tree, assignment)
+        rebuilt_replay = rebuilt.replay(inst)
+        assert rebuilt_replay.simplified_cost == replay.simplified_cost
+        assert rebuilt_replay.actual_cost == replay.actual_cost
+
+    @given(instances(max_sets=5))
+    def test_final_set_always_ground_set(self, inst):
+        for policy in ("SI", "SO", "BT(I)", "LM"):
+            replay = merge_with(policy, inst).replay(inst)
+            assert replay.final_set == inst.ground_set
+
+
+class TestEquality:
+    def test_schedule_equality_and_hash(self):
+        assert simple_schedule() == simple_schedule()
+        assert hash(simple_schedule()) == hash(simple_schedule())
+        other = MergeSchedule(
+            4, [MergeStep((0, 2), 4), MergeStep((1, 3), 5), MergeStep((4, 5), 6)]
+        )
+        assert simple_schedule() != other

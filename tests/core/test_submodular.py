@@ -1,0 +1,90 @@
+"""Tests for the submodular cost-function checkers (SUBMODULARMERGING)."""
+
+from repro.core import (
+    CardinalityCost,
+    InitOverheadCost,
+    MergeCostFunction,
+    WeightedKeyCost,
+    check_monotone,
+    check_submodular,
+    is_monotone_submodular,
+    merge_with,
+    optimal_merge,
+)
+from tests.helpers import random_instance, worked_example
+
+GROUND = list(range(12))
+
+
+class TestShippedCostFunctionsAreSubmodular:
+    def test_cardinality(self):
+        assert is_monotone_submodular(CardinalityCost(), GROUND)
+
+    def test_weighted(self):
+        weights = {key: (key % 3) + 0.5 for key in GROUND}
+        assert is_monotone_submodular(WeightedKeyCost(weights), GROUND)
+
+    def test_init_overhead(self):
+        assert is_monotone_submodular(InitOverheadCost(overhead=4.0), GROUND)
+
+
+class _SquaredCardinality(MergeCostFunction):
+    """|X|^2 is monotone but super-modular — the checker must catch it."""
+
+    name = "squared"
+
+    def of(self, keys):
+        return float(len(keys) ** 2)
+
+
+class _NegativeSize(MergeCostFunction):
+    """-|X| is submodular but not monotone."""
+
+    name = "negative"
+
+    def of(self, keys):
+        return -float(len(keys))
+
+
+class TestCheckersDetectViolations:
+    def test_supermodular_detected(self):
+        violation = check_submodular(_SquaredCardinality(), GROUND)
+        assert violation is not None
+        assert violation.kind == "submodularity"
+
+    def test_non_monotone_detected(self):
+        violation = check_monotone(_NegativeSize(), GROUND)
+        assert violation is not None
+        assert violation.kind == "monotonicity"
+
+    def test_is_monotone_submodular_false_on_violations(self):
+        assert not is_monotone_submodular(_SquaredCardinality(), GROUND)
+        assert not is_monotone_submodular(_NegativeSize(), GROUND)
+
+
+class TestSubmodularMerging:
+    """The greedy framework and exact solver under non-cardinality costs."""
+
+    def test_weighted_cost_changes_optimal_schedule(self):
+        inst = worked_example()
+        uniform = optimal_merge(inst).cost
+        weights = {key: 10.0 if key in (6, 7, 8, 9) else 1.0 for key in range(1, 10)}
+        weighted = optimal_merge(inst, WeightedKeyCost(weights)).cost
+        assert weighted != uniform
+
+    def test_replay_supports_custom_costs(self):
+        inst = random_instance(n=6, universe=15, seed=4)
+        result = merge_with("SI", inst)
+        fn = InitOverheadCost(overhead=2.0)
+        replay = result.replay(inst, fn)
+        # every node costs 2 extra; nodes = n leaves + n-1 outputs
+        baseline = result.replay(inst).simplified_cost
+        assert replay.simplified_cost == baseline + 2.0 * (2 * inst.n - 1)
+
+    def test_greedy_respects_lopt_under_submodular_cost(self):
+        from repro.core import lopt
+
+        inst = random_instance(n=8, universe=20, seed=5)
+        fn = InitOverheadCost(overhead=1.5)
+        replay = merge_with("SI", inst).replay(inst, fn)
+        assert replay.simplified_cost >= lopt(inst, fn)

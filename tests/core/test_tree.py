@@ -1,0 +1,143 @@
+"""Tests for merge trees: structure, eta, labeling."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import MergeInstance
+from repro.core.tree import (
+    MergeTree,
+    balanced_tree,
+    eta_lower_bound,
+    is_perfect_binary,
+    join,
+    leaf,
+    left_deep_tree,
+)
+from repro.errors import InvalidTreeError
+from tests.helpers import worked_example
+
+
+def random_binary_tree(n: int, rng_seed: int) -> MergeTree:
+    """A random full binary tree with n leaves (split sizes randomly)."""
+    import random
+
+    rng = random.Random(rng_seed)
+
+    def build(count: int):
+        if count == 1:
+            return leaf()
+        left = rng.randint(1, count - 1)
+        return join(build(left), build(count - left))
+
+    return MergeTree(build(n))
+
+
+class TestStructure:
+    def test_single_leaf(self):
+        tree = MergeTree(leaf())
+        assert tree.n_leaves == 1
+        assert tree.node_count == 1
+        assert tree.height == 0
+        assert tree.eta() == 1
+
+    def test_rejects_unary_node(self):
+        with pytest.raises(InvalidTreeError):
+            join(leaf())
+
+    def test_rejects_shared_subtree(self):
+        shared = leaf()
+        with pytest.raises(InvalidTreeError):
+            MergeTree(join(shared, shared))
+
+    def test_balanced_tree_height(self):
+        for n in (1, 2, 3, 4, 5, 7, 8, 9, 16, 33):
+            tree = balanced_tree(n)
+            assert tree.n_leaves == n
+            if n > 1:
+                assert tree.height == math.ceil(math.log2(n))
+
+    def test_left_deep_tree_is_caterpillar(self):
+        tree = left_deep_tree(5)
+        assert tree.n_leaves == 5
+        assert tree.height == 4
+        assert tree.is_binary
+
+    def test_leaf_positions_are_left_to_right(self):
+        tree = balanced_tree(4)
+        assert [node.leaf_position for node in tree.leaves()] == [0, 1, 2, 3]
+
+    def test_node_counts(self):
+        tree = balanced_tree(8)
+        assert tree.node_count == 15
+        assert sum(1 for _ in tree.internal_nodes()) == 7
+        assert sum(1 for _ in tree.interior_nodes()) == 6  # excludes root
+
+    def test_max_arity(self):
+        binary = balanced_tree(4)
+        assert binary.max_arity() == 2
+        ternary = MergeTree(join(leaf(), leaf(), leaf()))
+        assert ternary.max_arity() == 3
+        assert not ternary.is_binary
+
+
+class TestEta:
+    def test_perfect_tree_achieves_bound(self):
+        for h in range(1, 5):
+            n = 2**h
+            tree = balanced_tree(n)
+            assert is_perfect_binary(tree)
+            assert tree.eta() == round(eta_lower_bound(n)) == n * (h + 1)
+
+    def test_caterpillar_eta(self):
+        # Leaves at depths 1..n-1 plus the deepest leaf at n-1.
+        n = 6
+        tree = left_deep_tree(n)
+        expected = sum(d + 1 for d in range(1, n)) + n
+        assert tree.eta() == expected
+
+    @given(st.integers(2, 32), st.integers(0, 100))
+    def test_lemma_a2_eta_lower_bound(self, n, seed):
+        """Lemma A.2: eta(T) >= n log2(2n) for any binary tree."""
+        tree = random_binary_tree(n, seed)
+        assert tree.eta() >= eta_lower_bound(n) - 1e-9
+
+    @given(st.integers(1, 4), st.integers(0, 50))
+    def test_lemma_a2_equality_only_for_perfect(self, h, seed):
+        n = 2**h
+        tree = random_binary_tree(n, seed)
+        if tree.eta() == round(eta_lower_bound(n)):
+            assert is_perfect_binary(tree)
+
+
+class TestLabeling:
+    def test_labels_bottom_up_union(self):
+        inst = worked_example()
+        tree = balanced_tree(5)
+        labels = tree.labels(inst)
+        assert labels[tree.root.uid] == inst.ground_set
+        for node in tree.leaves():
+            assert labels[node.uid] == inst.sets[node.leaf_position]
+
+    def test_labels_with_assignment(self):
+        inst = MergeInstance.from_iterables([{1}, {2}, {3}, {4}])
+        tree = balanced_tree(4)
+        labels = tree.labels(inst, assignment=(3, 2, 1, 0))
+        assert labels[tree.leaves()[0].uid] == frozenset({4})
+
+    def test_rejects_wrong_leaf_count(self):
+        inst = worked_example()
+        with pytest.raises(InvalidTreeError):
+            balanced_tree(4).labels(inst)
+
+    def test_rejects_non_permutation(self):
+        inst = MergeInstance.from_iterables([{1}, {2}])
+        tree = balanced_tree(2)
+        with pytest.raises(InvalidTreeError):
+            tree.labels(inst, assignment=(0, 0))
+
+    def test_resolve_assignment_identity(self):
+        tree = balanced_tree(3)
+        assert tree.resolve_assignment(None) == (0, 1, 2)

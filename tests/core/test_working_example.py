@@ -1,0 +1,58 @@
+"""The paper's Section 4.3 worked example, reproduced exactly.
+
+Input sets: A1={1,2,3,5}, A2={1,2,3,4}, A3={3,4,5}, A4={6,7,8},
+A5={7,8,9}.  The paper reports simplified costs (eq. 2.1):
+
+* Figure 4 — BALANCETREE (arrival pairing): 45
+* Figure 5 — SMALLESTINPUT: 47
+* Figure 6 — SMALLESTOUTPUT: 40
+"""
+
+from repro.core import MergeStep, lopt, merge_with, optimal_merge
+from tests.helpers import worked_example
+
+
+class TestPaperFigures:
+    def test_balance_tree_cost_45(self):
+        inst = worked_example()
+        result = merge_with("balance_tree", inst, suborder="arrival")
+        assert result.replay(inst).simplified_cost == 45
+
+    def test_smallest_input_cost_47(self):
+        inst = worked_example()
+        result = merge_with("SI", inst)
+        assert result.replay(inst).simplified_cost == 47
+
+    def test_smallest_output_cost_40(self):
+        inst = worked_example()
+        result = merge_with("SO", inst)
+        assert result.replay(inst).simplified_cost == 40
+
+    def test_smallest_input_merges_a3_a4_first(self):
+        """Figure 5: the first merge takes A3 and A4 (both size 3)."""
+        inst = worked_example()
+        schedule = merge_with("SI", inst).schedule
+        assert schedule.steps[0] == MergeStep((2, 3), 5)
+
+    def test_smallest_output_merges_a4_a5_first(self):
+        """Figure 6: the smallest union is A4 | A5 = {6,7,8,9}."""
+        inst = worked_example()
+        schedule = merge_with("SO", inst).schedule
+        assert schedule.steps[0] == MergeStep((3, 4), 5)
+        # second merge is A1, A2 producing {1..5}
+        assert schedule.steps[1] == MergeStep((0, 1), 6)
+
+    def test_so_is_optimal_here(self):
+        inst = worked_example()
+        assert optimal_merge(inst).cost == 40
+
+    def test_lopt_lower_bound(self):
+        inst = worked_example()
+        assert lopt(inst) == 17
+        assert optimal_merge(inst).cost >= lopt(inst)
+
+    def test_balance_tree_height(self):
+        inst = worked_example()
+        result = merge_with("balance_tree", inst, suborder="arrival")
+        tree, _ = result.schedule.to_tree()
+        assert tree.height == 3  # ceil(log2 5)

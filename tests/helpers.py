@@ -1,0 +1,71 @@
+"""Shared test helpers: instance builders and hypothesis strategies."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.core import MergeInstance
+
+#: The worked example from the paper (Section 4.3).
+WORKED_EXAMPLE_SETS = [
+    {1, 2, 3, 5},
+    {1, 2, 3, 4},
+    {3, 4, 5},
+    {6, 7, 8},
+    {7, 8, 9},
+]
+
+
+def worked_example() -> MergeInstance:
+    """The paper's 5-set working example (BT=45, SI=47, SO=40)."""
+    return MergeInstance.from_iterables(WORKED_EXAMPLE_SETS)
+
+
+def random_instance(
+    n: int, universe: int, seed: int, min_size: int = 1, max_size: int | None = None
+) -> MergeInstance:
+    """A reproducible random instance over ``range(universe)``."""
+    rng = random.Random(seed)
+    max_size = max_size or universe
+    sets = []
+    for _ in range(n):
+        size = rng.randint(min_size, max(min_size, min(max_size, universe)))
+        sets.append(frozenset(rng.sample(range(universe), size)))
+    return MergeInstance(tuple(sets))
+
+
+@st.composite
+def instances(
+    draw,
+    min_sets: int = 2,
+    max_sets: int = 6,
+    universe: int = 10,
+) -> MergeInstance:
+    """Hypothesis strategy producing small random merge instances."""
+    n = draw(st.integers(min_sets, max_sets))
+    sets = [
+        draw(
+            st.frozensets(
+                st.integers(0, universe - 1), min_size=1, max_size=universe
+            )
+        )
+        for _ in range(n)
+    ]
+    return MergeInstance(tuple(sets))
+
+
+@st.composite
+def disjoint_instances(
+    draw, min_sets: int = 2, max_sets: int = 7, max_size: int = 8
+) -> MergeInstance:
+    """Hypothesis strategy for pairwise-disjoint instances (Huffman case)."""
+    n = draw(st.integers(min_sets, max_sets))
+    sizes = [draw(st.integers(1, max_size)) for _ in range(n)]
+    sets = []
+    start = 0
+    for size in sizes:
+        sets.append(frozenset(range(start, start + size)))
+        start += size
+    return MergeInstance(tuple(sets))

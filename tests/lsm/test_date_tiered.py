@@ -1,0 +1,104 @@
+"""Tests for Date-Tiered compaction (DTCS baseline)."""
+
+import pytest
+
+from repro.lsm import DateTieredCompaction, Record, SSTable, SimulatedDisk
+
+
+def table_at(table_id, seqno_start, n_keys=10, tombstones=()):
+    """A table whose records occupy seqnos [seqno_start, seqno_start+n)."""
+    records = []
+    for offset in range(n_keys):
+        key = table_id * 1000 + offset
+        seqno = seqno_start + offset
+        if key in tombstones:
+            records.append(Record.delete(key, seqno))
+        else:
+            records.append(Record.put(key, seqno, value_size=50))
+    return SSTable(table_id, records)
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError):
+            DateTieredCompaction(base_window=0)
+        with pytest.raises(ValueError):
+            DateTieredCompaction(window_growth=1)
+        with pytest.raises(ValueError):
+            DateTieredCompaction(min_threshold=1)
+        with pytest.raises(ValueError):
+            DateTieredCompaction().compact([], SimulatedDisk(), 0)
+
+
+class TestWindows:
+    def test_window_boundaries_grow_geometrically(self):
+        strategy = DateTieredCompaction(base_window=10, window_growth=4)
+        assert strategy._window_of(0) == 0
+        assert strategy._window_of(9) == 0
+        assert strategy._window_of(10) == 1
+        assert strategy._window_of(49) == 1  # 10 + 40
+        assert strategy._window_of(50) == 2
+
+    def test_assignment_uses_recency(self):
+        strategy = DateTieredCompaction(base_window=100)
+        fresh = table_at(0, seqno_start=1000)
+        stale = table_at(1, seqno_start=1)
+        windows = strategy.assign_windows([fresh, stale])
+        assert fresh in windows[0]
+        assert stale not in windows.get(0, [])
+
+
+class TestCompaction:
+    def test_merges_within_window_only(self):
+        strategy = DateTieredCompaction(base_window=100, min_threshold=2)
+        recent = [table_at(i, seqno_start=1000 + i * 10) for i in range(3)]
+        ancient = [table_at(9, seqno_start=1)]
+        result = strategy.compact(recent + ancient, SimulatedDisk(), 100)
+        # the three recent tables merge; the ancient one is untouched
+        assert ancient[0] in result.output_tables
+        assert len(result.output_tables) == 2
+        assert result.n_merges >= 1
+
+    def test_preserves_all_keys(self):
+        strategy = DateTieredCompaction(base_window=50, min_threshold=2)
+        tables = [table_at(i, seqno_start=i * 30) for i in range(6)]
+        result = strategy.compact(tables, SimulatedDisk(), 100)
+        before = frozenset().union(*(t.key_set for t in tables))
+        after = frozenset().union(*(t.key_set for t in result.output_tables))
+        assert after == before
+
+    def test_recent_data_prioritized(self):
+        """§1 related work: 'recent data is prioritized for compaction'."""
+        strategy = DateTieredCompaction(base_window=40, min_threshold=2)
+        old = [table_at(i, seqno_start=i * 5, n_keys=5) for i in range(2)]
+        new = [table_at(5 + i, seqno_start=1000 + i * 5, n_keys=5) for i in range(4)]
+        result = strategy.compact(old + new, SimulatedDisk(), 100)
+        # new tables (window 0) merged into one; olds may stay separate
+        window_map = result.extras["windows"]
+        assert len(window_map.get(0, [])) <= 1 or result.n_merges >= 1
+
+    def test_tombstones_gc_only_in_oldest_window(self):
+        strategy = DateTieredCompaction(base_window=100, min_threshold=2)
+        # two old tables (same window, oldest) with a tombstone
+        old_a = table_at(0, seqno_start=1, tombstones={2})
+        old_b = table_at(1, seqno_start=20)
+        # two fresh tables with a tombstone (not oldest window)
+        new_a = table_at(2, seqno_start=5000, tombstones={2003})
+        new_b = table_at(3, seqno_start=5050)
+        result = strategy.compact(
+            [old_a, old_b, new_a, new_b], SimulatedDisk(), 100
+        )
+        all_records = {
+            record.key: record
+            for table in result.output_tables
+            for record in table.records
+        }
+        assert 2 not in all_records  # oldest-window tombstone purged
+        assert all_records[2003].tombstone  # fresh tombstone retained
+
+    def test_stable_when_nothing_mergeable(self):
+        strategy = DateTieredCompaction(base_window=10, min_threshold=4)
+        tables = [table_at(i, seqno_start=i * 500) for i in range(3)]
+        result = strategy.compact(tables, SimulatedDisk(), 100)
+        assert result.n_merges == 0
+        assert result.output_tables == tables

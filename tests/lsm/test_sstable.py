@@ -1,0 +1,177 @@
+"""Tests for SSTable structure, reads and the k-way merge."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.lsm import Record, SSTable, merge_sstables, table_from_records
+
+
+def make_table(table_id, keys, seqno_start=1, tombstones=(), value_size=100):
+    records = []
+    for offset, key in enumerate(sorted(keys)):
+        seqno = seqno_start + offset
+        if key in tombstones:
+            records.append(Record.delete(key, seqno))
+        else:
+            records.append(Record.put(key, seqno, value_size))
+    return SSTable(table_id, records)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(StorageError):
+            SSTable(0, [])
+
+    def test_rejects_unsorted(self):
+        records = [Record.put(2, 1), Record.put(1, 2)]
+        with pytest.raises(StorageError):
+            SSTable(0, records)
+
+    def test_rejects_duplicate_keys(self):
+        records = [Record.put(1, 1), Record.put(1, 2)]
+        with pytest.raises(StorageError):
+            SSTable(0, records)
+
+    def test_metadata(self):
+        table = make_table(7, [5, 1, 9])
+        assert table.table_id == 7
+        assert (table.min_key, table.max_key) == (1, 9)
+        assert table.entry_count == len(table) == 3
+        assert table.key_set == frozenset({1, 5, 9})
+
+    def test_size_bytes(self):
+        table = make_table(0, [1, 2], value_size=100)
+        assert table.size_bytes == sum(r.size_bytes for r in table.records)
+
+    def test_live_key_count_excludes_tombstones(self):
+        table = make_table(0, [1, 2, 3], tombstones={2})
+        assert table.live_key_count == 2
+
+
+class TestReads:
+    def test_point_lookup(self):
+        keys = list(range(0, 1000, 3))
+        table = make_table(0, keys)
+        for key in (0, 3, 501, 999):
+            record = table.get(key)
+            assert (record is not None) == (key in set(keys))
+        assert table.get(1) is None
+        assert table.get(-5) is None
+        assert table.get(10_000) is None
+
+    def test_get_across_index_boundaries(self):
+        """Probe around every sparse-index anchor."""
+        keys = list(range(100))
+        table = make_table(0, keys)
+        for key in keys:
+            assert table.get(key).key == key
+
+    def test_may_contain(self):
+        table = make_table(0, [10, 20, 30])
+        assert table.may_contain(20)
+        assert not table.may_contain(5)    # out of range
+        assert not table.may_contain(100)  # out of range
+
+    def test_scan(self):
+        table = make_table(0, [1, 3, 5, 7, 9])
+        assert [r.key for r in table.scan(3, 2)] == [3, 5]
+        assert [r.key for r in table.scan(4, 2)] == [5, 7]
+        assert table.scan(10, 3) == []
+
+    def test_key_range_overlaps(self):
+        a = make_table(0, [1, 5])
+        b = make_table(1, [5, 9])
+        c = make_table(2, [6, 9])
+        assert a.key_range_overlaps(b)
+        assert not a.key_range_overlaps(c)
+
+
+class TestMerge:
+    def test_newest_version_wins(self):
+        old = SSTable(0, [Record.put("k", 1, value_size=1)])
+        new = SSTable(1, [Record.put("k", 5, value_size=2)])
+        merged = merge_sstables([old, new], new_table_id=2)
+        assert merged.get("k").seqno == 5
+        assert merged.entry_count == 1
+
+    def test_union_of_keys(self):
+        a = make_table(0, [1, 2, 3], seqno_start=1)
+        b = make_table(1, [3, 4, 5], seqno_start=10)
+        merged = merge_sstables([a, b], new_table_id=2)
+        assert merged.key_set == frozenset({1, 2, 3, 4, 5})
+        assert merged.get(3).seqno >= 10  # b's version is newer
+
+    def test_tombstones_preserved_without_gc(self):
+        a = make_table(0, [1, 2], seqno_start=1)
+        b = make_table(1, [2], seqno_start=10, tombstones={2})
+        merged = merge_sstables([a, b], new_table_id=2, drop_tombstones=False)
+        assert merged.get(2).tombstone
+
+    def test_tombstones_dropped_with_gc(self):
+        a = make_table(0, [1, 2], seqno_start=1)
+        b = make_table(1, [2], seqno_start=10, tombstones={2})
+        merged = merge_sstables([a, b], new_table_id=2, drop_tombstones=True)
+        assert merged.get(2) is None
+        assert merged.key_set == frozenset({1})
+
+    def test_stale_write_does_not_resurrect_deleted_key(self):
+        """A tombstone newer than the put must win even if the put sits in
+        another table."""
+        put = SSTable(0, [Record.put("k", 5)])
+        tomb = SSTable(1, [Record.delete("k", 9)])
+        merged = merge_sstables([put, tomb], new_table_id=2)
+        assert merged.get("k").tombstone
+
+    def test_merge_three_way(self):
+        tables = [make_table(i, range(i * 4, i * 4 + 6), seqno_start=i * 10 + 1) for i in range(3)]
+        merged = merge_sstables(tables, new_table_id=9)
+        assert merged.key_set == frozenset(range(0, 14))
+
+    def test_merge_single_table_without_gc_is_identity(self):
+        table = make_table(0, [1, 2])
+        assert merge_sstables([table], new_table_id=1) is table
+
+    def test_merge_zero_tables_rejected(self):
+        with pytest.raises(StorageError):
+            merge_sstables([], new_table_id=0)
+
+    def test_all_tombstones_leaves_marker(self):
+        table = make_table(0, [1], tombstones={1})
+        merged = merge_sstables([table], new_table_id=1, drop_tombstones=True)
+        assert merged.entry_count == 1  # representable marker survives
+
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 50), min_size=1, max_size=20),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_key_union_property(self, key_sets):
+        seqno = 1
+        tables = []
+        for table_id, keys in enumerate(key_sets):
+            records = []
+            for key in sorted(keys):
+                records.append(Record.put(key, seqno))
+                seqno += 1
+            tables.append(SSTable(table_id, records))
+        merged = merge_sstables(tables, new_table_id=99)
+        assert merged.key_set == frozenset().union(*key_sets)
+        # newest-wins: every key's seqno equals the max across inputs
+        for key in merged.key_set:
+            expected = max(
+                record.seqno
+                for table in tables
+                for record in table.records
+                if record.key == key
+            )
+            assert merged.get(key).seqno == expected
+
+    def test_table_from_records(self):
+        table = table_from_records(3, [Record.put(1, 1), Record.put(2, 2)])
+        assert table.table_id == 3
+        assert table.entry_count == 2

@@ -1,0 +1,70 @@
+"""Tests for SimulationConfig and the figure presets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulator import SimulationConfig
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = SimulationConfig()
+        assert config.k == 2
+        assert config.memtable_mode == "append"
+
+    def test_update_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(update_fraction=1.5)
+
+    def test_k_bounds(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(k=1)
+
+    def test_lanes_bounds(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(parallel_lanes=0)
+
+
+class TestPresets:
+    def test_figure7_settings(self):
+        """§5.2: operationcount 100K, recordcount 1000, memtable 1000."""
+        config = SimulationConfig.figure7(0.5)
+        assert config.recordcount == 1000
+        assert config.operationcount == 100_000
+        assert config.memtable_capacity == 1000
+        assert config.distribution == "latest"
+        assert config.update_fraction == 0.5
+
+    def test_figure8_operationcount_formula(self):
+        """§5.3: opcount = memtable * n_sstables - recordcount."""
+        config = SimulationConfig.figure8(memtable_capacity=100)
+        assert config.operationcount == 100 * 100 - 1000
+        assert config.update_fraction == 0.6
+
+    def test_figure8_minimum_scale(self):
+        config = SimulationConfig.figure8(memtable_capacity=10)
+        assert config.operationcount == 0  # load phase alone fills 100 tables
+
+    def test_figure8_rejects_impossible(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig.figure8(memtable_capacity=5)
+
+    def test_with_seed(self):
+        config = SimulationConfig.figure7(0.5, seed=3)
+        other = config.with_seed(9)
+        assert other.seed == 9
+        assert other.operationcount == config.operationcount
+
+
+class TestDerivedObjects:
+    def test_workload_config(self):
+        config = SimulationConfig.figure7(0.25)
+        workload = config.workload_config()
+        assert workload.update_proportion == 0.25
+        assert workload.insert_proportion == 0.75
+        assert workload.recordcount == 1000
+
+    def test_timing_model(self):
+        config = SimulationConfig(disk_bandwidth=1e6, disk_seek_seconds=0.1)
+        model = config.timing_model()
+        assert model.transfer_seconds(1_000_000) == pytest.approx(1.1)

@@ -1,0 +1,95 @@
+"""Cross-layer property tests: the model and the substrate must agree.
+
+The scheduling layer (repro.core) costs a schedule symbolically over key
+sets; the execution layer (repro.lsm) performs the same schedule on real
+sstables and counts entries moved.  On tombstone-free tables the two
+must agree *exactly* — costactual is the same quantity viewed from both
+sides.  Simulated parallel time must also be consistent with serial I/O
+time under basic scheduling laws.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MergeInstance, merge_with
+from repro.lsm import Record, SSTable, SimulatedDisk, execute_schedule
+
+
+def tables_from_key_sets(key_sets):
+    tables = []
+    seqno = 0
+    for table_id, keys in enumerate(key_sets):
+        records = []
+        for key in sorted(keys):
+            seqno += 1
+            records.append(Record.put(key, seqno, value_size=10))
+        tables.append(SSTable(table_id, records))
+    return tables
+
+
+@st.composite
+def key_set_lists(draw):
+    n = draw(st.integers(2, 6))
+    return [
+        draw(st.frozensets(st.integers(0, 30), min_size=1, max_size=15))
+        for _ in range(n)
+    ]
+
+
+class TestModelMatchesSubstrate:
+    @given(key_set_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_executed_cost_equals_replayed_cost(self, key_sets):
+        instance = MergeInstance(tuple(key_sets))
+        tables = tables_from_key_sets(key_sets)
+        for policy in ("SI", "SO", "BT(I)"):
+            schedule = merge_with(policy, instance).schedule
+            replay = schedule.replay(instance)
+            execution = execute_schedule(
+                tables, schedule, SimulatedDisk(), next_table_id=100,
+                drop_tombstones=False,
+            )
+            assert execution.cost_actual_entries == replay.actual_cost
+            assert execution.cost_simplified_entries == replay.simplified_cost
+            assert execution.output_table.key_set == replay.final_set
+
+    @given(key_set_lists(), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_time_laws(self, key_sets, lanes):
+        """max(step) <= parallel <= serial; lanes=1 => parallel == serial."""
+        instance = MergeInstance(tuple(key_sets))
+        tables = tables_from_key_sets(key_sets)
+        schedule = merge_with("BT(I)", instance).schedule
+        serial = execute_schedule(
+            tables, schedule, SimulatedDisk(), 100, lanes=1, drop_tombstones=False
+        )
+        parallel = execute_schedule(
+            tables, schedule, SimulatedDisk(), 100, lanes=lanes, drop_tombstones=False
+        )
+        assert parallel.io_seconds == pytest.approx(serial.io_seconds)
+        assert parallel.simulated_seconds <= serial.simulated_seconds + 1e-9
+        if lanes == 1:
+            assert parallel.simulated_seconds == pytest.approx(
+                serial.simulated_seconds
+            )
+        # work conservation: c lanes cannot beat serial/c
+        assert parallel.simulated_seconds >= serial.io_seconds / lanes - 1e-9
+
+    @given(key_set_lists())
+    @settings(max_examples=20, deadline=None)
+    def test_disk_accounting_matches_execution(self, key_sets):
+        instance = MergeInstance(tuple(key_sets))
+        tables = tables_from_key_sets(key_sets)
+        schedule = merge_with("SI", instance).schedule
+        disk = SimulatedDisk()
+        execution = execute_schedule(
+            tables, schedule, disk, 100, drop_tombstones=False
+        )
+        assert disk.stats.bytes_read == execution.bytes_read
+        assert disk.stats.bytes_written == execution.bytes_written
+        # bytes moved are proportional to entries moved (uniform entries)
+        entry_bytes = tables[0].records[0].size_bytes
+        assert execution.bytes_read + execution.bytes_written == (
+            execution.cost_actual_entries * entry_bytes
+        )

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; these tests execute the
+fast ones end-to-end (the YCSB pipeline example runs in its reduced
+default mode) so a refactor can never silently break them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "adversarial_instances.py",
+    "submodular_costs.py",
+    "lsm_engine_demo.py",
+    "background_compaction.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_paper_costs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "= 45" in output  # BALANCETREE (Figure 4)
+    assert "= 47" in output  # SMALLESTINPUT (Figure 5)
+    assert "= 40" in output  # SMALLESTOUTPUT (Figure 6)
+    assert "optimal" in output.lower()
+
+
+def test_ycsb_compaction_example_reduced(capsys, monkeypatch):
+    """The heavier pipeline example, in its reduced default mode."""
+    monkeypatch.setattr(sys, "argv", ["ycsb_compaction.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "ycsb_compaction.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "RANDOM" in output and "BT(I)" in output
+    assert "cost/LOPT" in output

@@ -1,0 +1,159 @@
+"""Tests for the YCSB key-access distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ycsb import (
+    LatestChooser,
+    ScrambledZipfianChooser,
+    SequentialChooser,
+    UniformChooser,
+    ZipfianChooser,
+    available_distributions,
+    make_chooser,
+)
+
+
+def draw(chooser, count: int, item_count: int, seed: int = 0) -> list[int]:
+    rng = random.Random(seed)
+    return [chooser.next(rng, item_count) for _ in range(count)]
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_distributions()
+        assert {"uniform", "zipfian", "latest", "scrambled_zipfian"} <= set(names)
+
+    def test_make_chooser(self):
+        assert isinstance(make_chooser("uniform"), UniformChooser)
+        assert isinstance(make_chooser("ZIPFIAN"), ZipfianChooser)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(WorkloadError):
+            make_chooser("pareto")
+
+
+class TestUniform:
+    def test_range(self):
+        values = draw(UniformChooser(), 2000, 50)
+        assert min(values) >= 0 and max(values) < 50
+
+    def test_roughly_flat(self):
+        values = draw(UniformChooser(), 20000, 10)
+        counts = Counter(values)
+        for key in range(10):
+            assert 1600 <= counts[key] <= 2400  # expected 2000
+
+    def test_item_count_validation(self):
+        with pytest.raises(WorkloadError):
+            UniformChooser().next(random.Random(0), 0)
+
+
+class TestZipfian:
+    def test_range(self):
+        values = draw(ZipfianChooser(), 5000, 100)
+        assert min(values) >= 0 and max(values) < 100
+
+    def test_rank_frequency_decreasing(self):
+        values = draw(ZipfianChooser(), 50000, 1000)
+        counts = Counter(values)
+        # key 0 should dominate and top keys should be ordered overall
+        assert counts[0] > counts[10] > counts[200]
+
+    def test_head_concentration(self):
+        """With theta=0.99 the top 10% of keys take well over half the mass."""
+        values = draw(ZipfianChooser(), 50000, 1000)
+        counts = Counter(values)
+        head = sum(counts[k] for k in range(100))
+        assert head / len(values) > 0.5
+
+    def test_theta_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfianChooser(theta=1.0)
+        with pytest.raises(WorkloadError):
+            ZipfianChooser(theta=0.0)
+
+    def test_single_item(self):
+        assert ZipfianChooser().next(random.Random(0), 1) == 0
+
+    def test_growing_item_count(self):
+        """Incremental zeta extension matches a fresh chooser."""
+        grown = ZipfianChooser()
+        rng = random.Random(1)
+        for count in (10, 100, 1000):
+            grown.next(rng, count)
+        fresh = ZipfianChooser()
+        fresh.next(random.Random(2), 1000)
+        assert grown._zetan == pytest.approx(fresh._zetan)
+        assert grown._n == fresh._n == 1000
+
+    def test_shrinking_item_count_recomputes(self):
+        chooser = ZipfianChooser()
+        rng = random.Random(3)
+        chooser.next(rng, 1000)
+        chooser.next(rng, 10)  # defensive path
+        assert chooser._n == 10
+
+
+class TestScrambledZipfian:
+    def test_range(self):
+        values = draw(ScrambledZipfianChooser(), 5000, 97)
+        assert min(values) >= 0 and max(values) < 97
+
+    def test_hot_keys_not_low_numbered(self):
+        """Scrambling moves the hottest key away from index 0 (w.h.p.)."""
+        values = draw(ScrambledZipfianChooser(), 50000, 1000)
+        counts = Counter(values)
+        hottest = counts.most_common(1)[0][0]
+        assert hottest != 0
+
+    def test_still_skewed(self):
+        values = draw(ScrambledZipfianChooser(), 50000, 1000)
+        counts = Counter(values)
+        top = counts.most_common(100)
+        assert sum(c for _, c in top) / len(values) > 0.5
+
+
+class TestLatest:
+    def test_range(self):
+        values = draw(LatestChooser(), 5000, 100)
+        assert min(values) >= 0 and max(values) < 100
+
+    def test_newest_key_most_popular(self):
+        values = draw(LatestChooser(), 50000, 1000)
+        counts = Counter(values)
+        assert counts[999] == max(counts.values())
+        assert counts[999] > counts[500] > 0
+
+    def test_tracks_growing_keyspace(self):
+        chooser = LatestChooser()
+        rng = random.Random(5)
+        small = [chooser.next(rng, 100) for _ in range(2000)]
+        large = [chooser.next(rng, 10_000) for _ in range(2000)]
+        assert max(small) < 100
+        # after growth, the popular keys move to the new tail
+        assert Counter(large)[9999] > 0
+
+
+class TestSequential:
+    def test_cycles(self):
+        chooser = SequentialChooser()
+        values = draw(chooser, 7, 3)
+        assert values == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["uniform", "zipfian", "latest", "scrambled_zipfian"])
+    def test_same_seed_same_stream(self, name):
+        a = draw(make_chooser(name), 500, 200, seed=7)
+        b = draw(make_chooser(name), 500, 200, seed=7)
+        assert a == b
+
+    @pytest.mark.parametrize("name", ["uniform", "zipfian", "latest"])
+    def test_different_seed_differs(self, name):
+        a = draw(make_chooser(name), 500, 200, seed=7)
+        b = draw(make_chooser(name), 500, 200, seed=8)
+        assert a != b

@@ -1,0 +1,87 @@
+"""Tests for the YCSB A-F presets and the hotspot distribution."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ycsb import (
+    CoreWorkload,
+    HotspotChooser,
+    OperationType,
+    available_presets,
+    make_chooser,
+    workload_preset,
+)
+
+
+class TestPresets:
+    def test_available(self):
+        assert available_presets() == ("A", "B", "C", "D", "E", "F")
+
+    def test_unknown(self):
+        with pytest.raises(WorkloadError):
+            workload_preset("Z")
+
+    def test_workload_a_mix(self):
+        config = workload_preset("A", operationcount=4000, seed=1)
+        workload = CoreWorkload(config)
+        list(workload.load_operations())
+        counts = Counter(op.type for op in workload.run_operations())
+        assert 1700 <= counts[OperationType.READ] <= 2300
+        assert 1700 <= counts[OperationType.UPDATE] <= 2300
+
+    def test_workload_c_read_only(self):
+        config = workload_preset("c", operationcount=500)
+        workload = CoreWorkload(config)
+        list(workload.load_operations())
+        assert all(
+            op.type is OperationType.READ for op in workload.run_operations()
+        )
+
+    def test_workload_d_uses_latest(self):
+        config = workload_preset("D")
+        assert config.distribution == "latest"
+        assert config.insert_proportion == 0.05
+
+    def test_workload_e_scans(self):
+        config = workload_preset("E", operationcount=200)
+        workload = CoreWorkload(config)
+        list(workload.load_operations())
+        types = Counter(op.type for op in workload.run_operations())
+        assert types[OperationType.SCAN] > types[OperationType.INSERT]
+
+    def test_overrides(self):
+        config = workload_preset("A", recordcount=77, distribution="uniform")
+        assert config.recordcount == 77
+        assert config.distribution == "uniform"
+
+
+class TestHotspot:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            HotspotChooser(hot_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            HotspotChooser(hot_access_fraction=1.0)
+
+    def test_registered(self):
+        assert isinstance(make_chooser("hotspot"), HotspotChooser)
+
+    def test_hot_set_dominates(self):
+        chooser = HotspotChooser(hot_fraction=0.2, hot_access_fraction=0.8)
+        rng = random.Random(0)
+        values = [chooser.next(rng, 1000) for _ in range(20_000)]
+        hot = sum(1 for v in values if v < 200)
+        assert 0.75 <= hot / len(values) <= 0.85
+
+    def test_range(self):
+        chooser = HotspotChooser()
+        rng = random.Random(1)
+        values = [chooser.next(rng, 50) for _ in range(2000)]
+        assert min(values) >= 0 and max(values) < 50
+
+    def test_tiny_keyspace(self):
+        chooser = HotspotChooser()
+        rng = random.Random(2)
+        assert chooser.next(rng, 1) == 0

@@ -1,0 +1,162 @@
+"""Tests for the YCSB core workload (load + run phases)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ycsb import CoreWorkload, Operation, OperationType, WorkloadConfig
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_rejects_bad_recordcount(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(recordcount=0)
+
+    def test_rejects_negative_operationcount(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(operationcount=-1)
+
+    def test_rejects_negative_proportion(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(update_proportion=-0.5)
+
+    def test_rejects_all_zero_mix(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(update_proportion=0.0, operationcount=10)
+
+    def test_all_zero_mix_ok_with_no_operations(self):
+        WorkloadConfig(update_proportion=0.0, operationcount=0)
+
+    def test_insert_update_mix_helper(self):
+        config = WorkloadConfig.insert_update_mix(0.25, operationcount=100)
+        assert config.update_proportion == 0.25
+        assert config.insert_proportion == 0.75
+        with pytest.raises(WorkloadError):
+            WorkloadConfig.insert_update_mix(1.5)
+
+
+class TestLoadPhase:
+    def test_inserts_recordcount_keys(self):
+        workload = CoreWorkload(WorkloadConfig(recordcount=50, operationcount=0))
+        ops = list(workload.load_operations())
+        assert len(ops) == 50
+        assert all(op.type is OperationType.INSERT for op in ops)
+        assert [op.key for op in ops] == list(range(50))
+        assert workload.inserted_count == 50
+
+    def test_value_size_propagates(self):
+        workload = CoreWorkload(
+            WorkloadConfig(recordcount=3, operationcount=0, value_size=256)
+        )
+        assert all(op.value_size == 256 for op in workload.load_operations())
+
+
+class TestRunPhase:
+    def test_requires_load_first(self):
+        workload = CoreWorkload(WorkloadConfig(recordcount=10, operationcount=5))
+        with pytest.raises(WorkloadError):
+            next(workload.run_operations())
+
+    def test_operation_count(self):
+        workload = CoreWorkload(WorkloadConfig(recordcount=10, operationcount=123))
+        list(workload.load_operations())
+        assert len(list(workload.run_operations())) == 123
+
+    def test_pure_update_mix_touches_loaded_keys(self):
+        config = WorkloadConfig(
+            recordcount=20, operationcount=500, update_proportion=1.0
+        )
+        workload = CoreWorkload(config)
+        list(workload.load_operations())
+        ops = list(workload.run_operations())
+        assert all(op.type is OperationType.UPDATE for op in ops)
+        assert all(0 <= op.key < 20 for op in ops)
+        assert workload.inserted_count == 20
+
+    def test_pure_insert_mix_appends_fresh_keys(self):
+        config = WorkloadConfig(
+            recordcount=10,
+            operationcount=30,
+            update_proportion=0.0,
+            insert_proportion=1.0,
+        )
+        workload = CoreWorkload(config)
+        list(workload.load_operations())
+        ops = list(workload.run_operations())
+        assert [op.key for op in ops] == list(range(10, 40))
+        assert workload.inserted_count == 40
+
+    def test_mixed_proportions_roughly_respected(self):
+        config = WorkloadConfig(
+            recordcount=100,
+            operationcount=10_000,
+            update_proportion=0.6,
+            insert_proportion=0.4,
+            seed=3,
+        )
+        workload = CoreWorkload(config)
+        list(workload.load_operations())
+        ops = list(workload.run_operations())
+        updates = sum(1 for op in ops if op.type is OperationType.UPDATE)
+        assert 5500 <= updates <= 6500
+
+    def test_inserts_grow_latest_window(self):
+        """With 'latest', run-phase updates should hit recently inserted keys."""
+        config = WorkloadConfig(
+            recordcount=100,
+            operationcount=4000,
+            update_proportion=0.5,
+            insert_proportion=0.5,
+            distribution="latest",
+            seed=1,
+        )
+        workload = CoreWorkload(config)
+        list(workload.load_operations())
+        updated = [op.key for op in workload.run_operations() if op.type is OperationType.UPDATE]
+        # at least some updates land beyond the originally loaded range
+        assert any(key >= 100 for key in updated)
+
+    def test_scan_operations_have_length(self):
+        config = WorkloadConfig(
+            recordcount=10,
+            operationcount=50,
+            update_proportion=0.0,
+            scan_proportion=1.0,
+            max_scan_length=7,
+        )
+        workload = CoreWorkload(config)
+        list(workload.load_operations())
+        ops = list(workload.run_operations())
+        assert all(op.type is OperationType.SCAN for op in ops)
+        assert all(1 <= op.scan_length <= 7 for op in ops)
+
+    def test_deletes_are_writes(self):
+        op = Operation(OperationType.DELETE, 5)
+        assert op.is_write
+        assert not Operation(OperationType.READ, 5).is_write
+
+
+class TestDeterminism:
+    def test_same_seed_same_ops(self):
+        config = WorkloadConfig(recordcount=50, operationcount=500, seed=9)
+        first = [
+            (op.type, op.key) for op in CoreWorkload(config).all_operations()
+        ]
+        second = [
+            (op.type, op.key) for op in CoreWorkload(config).all_operations()
+        ]
+        assert first == second
+
+    def test_different_seed_differs(self):
+        base = dict(recordcount=50, operationcount=500)
+        a = [
+            (op.type, op.key)
+            for op in CoreWorkload(WorkloadConfig(seed=1, **base)).all_operations()
+        ]
+        b = [
+            (op.type, op.key)
+            for op in CoreWorkload(WorkloadConfig(seed=2, **base)).all_operations()
+        ]
+        assert a != b
