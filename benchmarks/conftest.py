@@ -22,6 +22,18 @@ from pathlib import Path
 import pytest
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark in this directory ``slow``.
+
+    The tier-1 test command deselects ``slow`` (see pytest.ini), so the
+    paper-scale sweeps only run when asked for with ``-m slow``.
+    """
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 def is_fast() -> bool:

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
+from ..core.backend import available_backends
 from ..simulator import (
     SimulationConfig,
     sweep_memtable_capacity,
@@ -77,11 +78,15 @@ def figure7(
     distribution: str = "latest",
     base: Optional[SimulationConfig] = None,
     fractions: Sequence[float] = UPDATE_FRACTIONS,
+    backend: Optional[str] = None,
 ) -> tuple[ExperimentResult, ExperimentResult]:
     """Both panels of Figure 7 from a single sweep.
 
     ``base`` and ``fractions`` override the paper's settings (used by
-    tests to exercise the full pipeline at a tiny scale).
+    tests to exercise the full pipeline at a tiny scale).  ``backend``
+    selects the set kernel the merge policies run on (``None`` keeps
+    ``base``'s choice); the cost panel is kernel-independent, the time
+    panel's strategy overhead shrinks under ``"bitset"``.
     """
     runs = runs if runs is not None else (1 if fast else 3)
     if base is None:
@@ -90,6 +95,8 @@ def figure7(
             if fast
             else SimulationConfig.figure7(0.0, distribution)
         )
+    if backend is not None:
+        base = replace(base, backend=backend)
     sweep = sweep_update_fraction(base, fractions, FIG7_STRATEGIES, runs)
 
     cost_rows, time_rows = [], []
@@ -147,12 +154,20 @@ def figure7(
     )
 
 
-def figure7a(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult:
-    return figure7(fast, runs)[0]
+def figure7a(
+    fast: bool = False,
+    runs: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ExperimentResult:
+    return figure7(fast, runs, backend=backend)[0]
 
 
-def figure7b(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult:
-    return figure7(fast, runs)[1]
+def figure7b(
+    fast: bool = False,
+    runs: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ExperimentResult:
+    return figure7(fast, runs, backend=backend)[1]
 
 
 # ----------------------------------------------------------------------
@@ -163,12 +178,17 @@ def figure8(
     runs: Optional[int] = None,
     distribution: str = "latest",
     capacities: Optional[Sequence[int]] = None,
+    backend: Optional[str] = None,
 ) -> ExperimentResult:
     runs = runs if runs is not None else (1 if fast else 3)
     if capacities is None:
         capacities = FIG8_CAPACITIES_FAST if fast else FIG8_CAPACITIES
     sweep = sweep_memtable_capacity(
-        capacities, ("BT(I)",), runs=runs, distribution=distribution
+        capacities,
+        ("BT(I)",),
+        runs=runs,
+        distribution=distribution,
+        backend=backend,
     )
     rows = []
     bt_series: list[tuple[float, float]] = []
@@ -235,7 +255,11 @@ def _cost_time_points(sweep, label: str = "SI") -> list[tuple[float, float]]:
     ]
 
 
-def figure9a(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult:
+def figure9a(
+    fast: bool = False,
+    runs: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ExperimentResult:
     runs = runs if runs is not None else (1 if fast else 3)
     series: dict[str, list[tuple[float, float]]] = {}
     fits = {}
@@ -245,6 +269,8 @@ def figure9a(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult
             if fast
             else SimulationConfig.figure7(0.0, distribution)
         )
+        if backend is not None:
+            base = replace(base, backend=backend)
         sweep = sweep_update_fraction(base, UPDATE_FRACTIONS, ("SI",), runs)
         points = _cost_time_points(sweep)
         series[distribution] = points
@@ -273,7 +299,11 @@ def figure9a(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult
     )
 
 
-def figure9b(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult:
+def figure9b(
+    fast: bool = False,
+    runs: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ExperimentResult:
     runs = runs if runs is not None else (1 if fast else 3)
     counts = (
         tuple(count // 5 for count in FIG9B_OPERATION_COUNTS)
@@ -286,6 +316,8 @@ def figure9b(fast: bool = False, runs: Optional[int] = None) -> ExperimentResult
         base = replace(
             SimulationConfig.figure7(0.0, distribution), update_fraction=0.6
         )
+        if backend is not None:
+            base = replace(base, backend=backend)
         sweep = sweep_operationcount(base, counts, ("SI",), runs)
         points = _cost_time_points(sweep)
         series[distribution] = points
@@ -324,17 +356,20 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
 
 
 def run_experiment(
-    experiment_id: str, fast: bool = False, runs: Optional[int] = None
+    experiment_id: str,
+    fast: bool = False,
+    runs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> list[ExperimentResult]:
     """Run one experiment id (``fig7`` expands to both panels)."""
     if experiment_id == "fig7":
-        return list(figure7(fast, runs))
+        return list(figure7(fast, runs, backend=backend))
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"known: {sorted(EXPERIMENTS)} + ['fig7', 'all']"
         )
-    result = EXPERIMENTS[experiment_id](fast=fast, runs=runs)
+    result = EXPERIMENTS[experiment_id](fast=fast, runs=runs, backend=backend)
     return [result]  # type: ignore[list-item]
 
 
@@ -349,6 +384,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
     parser.add_argument("--fast", action="store_true", help="reduced scale")
     parser.add_argument("--runs", type=int, default=None, help="independent runs")
     parser.add_argument("--out", type=Path, default=None, help="directory for .txt dumps")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="set kernel for the merge policies (default: frozenset; "
+        "see docs/backends.md)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "all":
@@ -356,7 +398,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
     else:
         ids = [args.experiment]
     for experiment_id in ids:
-        for result in run_experiment(experiment_id, fast=args.fast, runs=args.runs):
+        for result in run_experiment(
+            experiment_id, fast=args.fast, runs=args.runs, backend=args.backend
+        ):
             result.print()
             print()
             if args.out is not None:

@@ -23,7 +23,7 @@ def render_schedule(
     }
 
     def keys_text(table_id: int) -> str:
-        keys = sorted(replay.tables[table_id], key=repr)
+        keys = sorted(replay.key_set(table_id), key=repr)
         if len(keys) > max_keys_shown:
             shown = ", ".join(repr(k) for k in keys[:max_keys_shown])
             return f"{{{shown}, ... ({len(keys)} keys)}}"

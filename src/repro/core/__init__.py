@@ -15,6 +15,14 @@ Public surface:
 """
 
 from . import adversarial, hardness, minor
+from .backend import (
+    BitsetBackend,
+    FrozensetBackend,
+    SetBackend,
+    available_backends,
+    canonical_backend_name,
+    make_backend,
+)
 from .bounds import (
     balance_tree_bound,
     freq_bound,

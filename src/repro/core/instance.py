@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from ..errors import InvalidInstanceError
-from .keyset import Key, freeze_all, union_all
+from .keyset import BitsetEncoder, Key, freeze_all, union_all
 
 
 @dataclass(frozen=True)
@@ -93,6 +93,17 @@ class MergeInstance:
     def max_frequency(self) -> int:
         """``f = max_x f_x`` — the f-approximation parameter (§4.4)."""
         return max(self.element_frequencies.values())
+
+    @cached_property
+    def bitset_encoding(self) -> tuple[BitsetEncoder, tuple[int, ...]]:
+        """The instance's sets as integer bitsets, with their encoder.
+
+        Cached so that every bitset-backend run over the same instance
+        (greedy, replay, the exact solver's callers) shares one encoding
+        instead of re-walking the key sets.
+        """
+        encoder = BitsetEncoder(self.sets)
+        return encoder, tuple(encoder.encode(keys) for keys in self.sets)
 
     @cached_property
     def is_disjoint(self) -> bool:

@@ -80,26 +80,46 @@ class BitsetEncoder:
     def encode(self, keys: Iterable[Key]) -> int:
         """Encode a key set as an integer bitset.
 
-        Unseen keys are registered on the fly so that
-        ``encode`` never fails for hashable inputs.
+        Unseen keys are registered on the fly so that ``encode`` never
+        fails for hashable inputs.  Bits are set in a byte buffer and
+        converted once — setting them on a growing big-int directly
+        would copy O(universe/64) words per key.
         """
         self.observe(keys)
         positions = self._positions
-        bits = 0
+        buffer = bytearray((len(self._keys) + 7) >> 3)
         for key in keys:
-            bits |= 1 << positions[key]
-        return bits
+            position = positions[key]
+            buffer[position >> 3] |= 1 << (position & 7)
+        return int.from_bytes(buffer, "little")
 
     def decode(self, bits: int) -> frozenset:
-        """Decode an integer bitset back into the original key set."""
+        """Decode an integer bitset back into the original key set.
+
+        Walks the bitset one byte at a time (clearing low bits of a
+        big-int copies the whole integer per bit; a byte does not).
+        """
         keys = self._keys
         out = []
-        while bits:
-            low = bits & -bits
-            out.append(keys[low.bit_length() - 1])
-            bits ^= low
+        data = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+        for byte_index, byte in enumerate(data):
+            base = byte_index << 3
+            while byte:
+                low = byte & -byte
+                out.append(keys[base + low.bit_length() - 1])
+                byte ^= low
         return frozenset(out)
 
     def key_at(self, position: int) -> Key:
-        """Return the key assigned to bit ``position``."""
+        """Return the key assigned to bit ``position``.
+
+        Raises :class:`IndexError` for positions outside
+        ``[0, universe_size)`` — including negative ones, which would
+        otherwise silently wrap around via Python list indexing.
+        """
+        if not 0 <= position < len(self._keys):
+            raise IndexError(
+                f"bit position {position} out of range "
+                f"[0, {len(self._keys)})"
+            )
         return self._keys[position]

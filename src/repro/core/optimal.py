@@ -29,7 +29,6 @@ from typing import Iterator, Optional
 from ..errors import InvalidInstanceError
 from .cost import DEFAULT_COST, MergeCostFunction
 from .instance import MergeInstance
-from .keyset import BitsetEncoder
 from .schedule import MergeSchedule, MergeStep
 
 _MAX_EXACT_N = 18  # hard safety cap; 3^18 is already ~387e6 split checks
@@ -43,24 +42,18 @@ class OptimalResult:
     schedule: MergeSchedule
 
 
-def _encode_sets(instance: MergeInstance) -> list[int]:
-    encoder = BitsetEncoder(instance.sets)
-    return [encoder.encode(keys) for keys in instance.sets]
-
-
 def _union_values(
     instance: MergeInstance, cost_fn: MergeCostFunction
 ) -> list[float]:
     """``f(union of sets in mask)`` for every non-empty mask."""
     n = instance.n
-    set_bits = _encode_sets(instance)
+    encoder, set_bits = instance.bitset_encoding
     unions = [0] * (1 << n)
     for mask in range(1, 1 << n):
         low = mask & -mask
         unions[mask] = unions[mask ^ low] | set_bits[low.bit_length() - 1]
     if isinstance(cost_fn, type(DEFAULT_COST)) and cost_fn.name == "cardinality":
         return [float(bits.bit_count()) for bits in unions]
-    encoder = BitsetEncoder(instance.sets)
     return [
         cost_fn.of(encoder.decode(bits)) if mask else 0.0
         for mask, bits in enumerate(unions)

@@ -75,9 +75,11 @@ class BalanceTreePolicy(ChoosePolicy):
         if self.suborder == "output" and self.estimator == "hll":
             self._sketches = {
                 table_id: HyperLogLog.of(
-                    keys, precision=self.hll_precision, seed=self.hll_seed
+                    state.keys(table_id),
+                    precision=self.hll_precision,
+                    seed=self.hll_seed,
                 )
-                for table_id, keys in state.live.items()
+                for table_id in state.live
             }
 
     def _estimate_union(self, state: GreedyState, combo: tuple[int, ...]) -> float:
@@ -86,10 +88,10 @@ class BalanceTreePolicy(ChoosePolicy):
             return self._sketches[first].union_cardinality(
                 *(self._sketches[table_id] for table_id in rest)
             )
-        union: set = set()
-        for table_id in combo:
-            union.update(state.live[table_id])
-        return float(len(union))
+        live = state.live
+        return float(
+            state.backend.union_size(live[table_id] for table_id in combo)
+        )
 
     def _level_candidates(self, state: GreedyState) -> tuple[int, list[int]]:
         """Find ``minL`` and its tables, promoting lone stragglers (§4.3.1)."""

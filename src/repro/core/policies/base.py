@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ...errors import PolicyError
+from ..backend import FrozensetBackend, SetBackend, SetHandle
 from ..instance import MergeInstance
 
 
@@ -36,19 +37,24 @@ from ..instance import MergeInstance
 class GreedyState:
     """Mutable state shared between the greedy loop and its policy.
 
-    ``live`` maps table id to key set for every not-yet-consumed table
-    (ids ``0..n-1`` are the inputs; merged outputs get increasing fresh
-    ids, so id order is creation order — the deterministic tie-break used
-    throughout).  ``sizes`` caches cardinalities so policies never re-len
-    large sets.
+    ``live`` maps table id to the *backend handle* of the key set for
+    every not-yet-consumed table (ids ``0..n-1`` are the inputs; merged
+    outputs get increasing fresh ids, so id order is creation order — the
+    deterministic tie-break used throughout).  Under the default
+    ``frozenset`` backend a handle *is* the key ``frozenset``, so legacy
+    policies that treat ``live`` values as sets keep working; backend-
+    agnostic policies go through ``backend`` ops or :meth:`keys` instead.
+    ``sizes`` caches cardinalities so policies never re-measure large
+    sets; the greedy loop keeps its key set identical to ``live``'s.
     """
 
     instance: MergeInstance
     k: int
     rng: random.Random
-    live: dict[int, frozenset] = field(default_factory=dict)
+    live: dict[int, SetHandle] = field(default_factory=dict)
     sizes: dict[int, int] = field(default_factory=dict)
     next_id: int = 0
+    backend: SetBackend = field(default_factory=FrozensetBackend)
 
     @property
     def n_live(self) -> int:
@@ -57,6 +63,10 @@ class GreedyState:
     def arity_for_next_merge(self) -> int:
         """Fan-in available to the next merge: ``min(k, live tables)``."""
         return min(self.k, len(self.live))
+
+    def keys(self, table_id: int) -> frozenset:
+        """The plain key ``frozenset`` of a live table (decoded handle)."""
+        return self.backend.decode(self.live[table_id])
 
 
 class ChoosePolicy(ABC):

@@ -17,6 +17,7 @@ Ties break by creation order, consistent with the other policies.
 
 from __future__ import annotations
 
+import heapq
 from itertools import combinations
 
 from .base import ChoosePolicy, GreedyState, register_policy
@@ -32,50 +33,77 @@ class LargestMatchPolicy(ChoosePolicy):
 
     def __init__(self) -> None:
         self._intersections: dict[_Pair, int] = {}
+        # table id -> pairs it participates in, for O(degree) retirement
+        # of a consumed table (a rebuild-filter would rescan all O(n^2)
+        # pairs on every merge).
+        self._pairs_of: dict[int, set[_Pair]] = {}
+        # lazy-deletion heap over (-intersection, pair); a pair's value
+        # never changes once computed (ids never revive), so stale
+        # entries are exactly the dead pairs and are skipped on peek.
+        self._heap: list[tuple[int, _Pair]] = []
+
+    def _add_pair(self, pair: _Pair, value: int) -> None:
+        self._intersections[pair] = value
+        self._pairs_of.setdefault(pair[0], set()).add(pair)
+        self._pairs_of.setdefault(pair[1], set()).add(pair)
+        heapq.heappush(self._heap, (-value, pair))
 
     def prepare(self, state: GreedyState) -> None:
         live = state.live
-        self._intersections = {
-            (a, b): len(live[a] & live[b])
-            for a, b in combinations(sorted(live), 2)
-        }
+        intersect = state.backend.intersection_size
+        self._intersections = {}
+        self._pairs_of = {}
+        self._heap = []
+        for a, b in combinations(sorted(live), 2):
+            self._add_pair((a, b), intersect(live[a], live[b]))
 
     def _best_pair(self) -> _Pair:
-        # max intersection; ties resolved toward the earliest-created pair
-        return min(
-            self._intersections,
-            key=lambda pair: (-self._intersections[pair], pair),
-        )
+        # max intersection; ties resolved toward the earliest-created
+        # pair — the heap orders by (-value, pair), the same total order
+        # the previous full min-scan used.
+        heap = self._heap
+        intersections = self._intersections
+        while True:
+            _, pair = heap[0]
+            if pair in intersections:
+                return pair
+            heapq.heappop(heap)
 
     def choose(self, state: GreedyState) -> tuple[int, ...]:
         arity = state.arity_for_next_merge()
         first, second = self._best_pair()
         chosen = [first, second]
         if arity > 2:
-            union = set(state.live[first]) | state.live[second]
-            remaining = set(state.live) - set(chosen)
+            live = state.live
+            backend = state.backend
+            intersect = backend.intersection_size
+            union = backend.union((live[first], live[second]))
+            remaining = set(live) - set(chosen)
             while len(chosen) < arity and remaining:
                 best = min(
                     remaining,
-                    key=lambda table_id: (-len(union & state.live[table_id]), table_id),
+                    key=lambda table_id: (-intersect(union, live[table_id]), table_id),
                 )
                 chosen.append(best)
-                union |= state.live[best]
+                union = backend.union((union, live[best]))
                 remaining.discard(best)
         return tuple(chosen)
 
     def observe_merge(
         self, state: GreedyState, consumed: tuple[int, ...], new_id: int
     ) -> None:
-        dead = set(consumed)
-        self._intersections = {
-            pair: value
-            for pair, value in self._intersections.items()
-            if dead.isdisjoint(pair)
-        }
-        new_set = state.live[new_id]
-        for table_id, keys in state.live.items():
+        intersections = self._intersections
+        pairs_of = self._pairs_of
+        for dead in consumed:
+            for pair in pairs_of.pop(dead, ()):
+                intersections.pop(pair, None)
+                partner = pair[0] if pair[1] == dead else pair[1]
+                partner_pairs = pairs_of.get(partner)
+                if partner_pairs is not None:
+                    partner_pairs.discard(pair)
+        new_handle = state.live[new_id]
+        intersect = state.backend.intersection_size
+        for table_id, handle in state.live.items():
             if table_id == new_id:
                 continue
-            pair = (table_id, new_id) if table_id < new_id else (new_id, table_id)
-            self._intersections[pair] = len(new_set & keys)
+            self._add_pair((table_id, new_id), intersect(new_handle, handle))

@@ -18,6 +18,7 @@ which reproduces the worked example (cost 40 on the 5-set instance).
 
 from __future__ import annotations
 
+import heapq
 from itertools import combinations
 from typing import Optional
 
@@ -48,6 +49,14 @@ class SmallestOutputPolicy(ChoosePolicy):
         self.hll_precision = hll_precision
         self.hll_seed = hll_seed
         self._estimates: dict[_EstimateKey, float] = {}
+        # table id -> combinations it participates in, so a consumed
+        # table retires its cache entries in O(degree) instead of a
+        # full-cache rebuild per merge.
+        self._combos_of: dict[int, set[_EstimateKey]] = {}
+        # lazy-deletion heap over (estimate, combo); an estimate never
+        # changes once cached (ids never revive), so stale entries are
+        # exactly the retired combos and are skipped on peek.
+        self._heap: list[tuple[float, _EstimateKey]] = []
         self._sketches: dict[int, HyperLogLog] = {}
         self._arity: Optional[int] = None
         self.estimate_calls = 0  # exposed for overhead accounting/tests
@@ -60,26 +69,36 @@ class SmallestOutputPolicy(ChoosePolicy):
             return self._sketches[first].union_cardinality(
                 *(self._sketches[table_id] for table_id in rest)
             )
-        union: set = set()
+        live = state.live
+        return float(
+            state.backend.union_size(live[table_id] for table_id in combo)
+        )
+
+    def _add_estimate(self, state: GreedyState, combo: _EstimateKey) -> None:
+        estimate = self._estimate(state, combo)
+        self._estimates[combo] = estimate
         for table_id in combo:
-            union.update(state.live[table_id])
-        return float(len(union))
+            self._combos_of.setdefault(table_id, set()).add(combo)
+        heapq.heappush(self._heap, (estimate, combo))
 
     def _fill_cache(self, state: GreedyState, arity: int) -> None:
         self._arity = arity
-        self._estimates = {
-            combo: self._estimate(state, combo)
-            for combo in combinations(sorted(state.live), arity)
-        }
+        self._estimates = {}
+        self._combos_of = {}
+        self._heap = []
+        for combo in combinations(sorted(state.live), arity):
+            self._add_estimate(state, combo)
 
     # ------------------------------------------------------------------
     def prepare(self, state: GreedyState) -> None:
         if self.estimator == "hll":
             self._sketches = {
                 table_id: HyperLogLog.of(
-                    keys, precision=self.hll_precision, seed=self.hll_seed
+                    state.keys(table_id),
+                    precision=self.hll_precision,
+                    seed=self.hll_seed,
                 )
-                for table_id, keys in state.live.items()
+                for table_id in state.live
             }
         self._fill_cache(state, state.arity_for_next_merge())
 
@@ -89,20 +108,32 @@ class SmallestOutputPolicy(ChoosePolicy):
             # The final merge may have fewer than k live tables; rebuild
             # the cache at the reduced arity.
             self._fill_cache(state, arity)
-        best_combo = min(
-            self._estimates, key=lambda combo: (self._estimates[combo], combo)
-        )
-        return best_combo
+        # Smallest estimated union; ties toward the earliest-created
+        # combination — the heap orders by (estimate, combo), the same
+        # total order the previous full min-scan used.
+        heap = self._heap
+        estimates = self._estimates
+        while True:
+            _, combo = heap[0]
+            if combo in estimates:
+                return combo
+            heapq.heappop(heap)
 
     def observe_merge(
         self, state: GreedyState, consumed: tuple[int, ...], new_id: int
     ) -> None:
-        dead = set(consumed)
-        self._estimates = {
-            combo: estimate
-            for combo, estimate in self._estimates.items()
-            if dead.isdisjoint(combo)
-        }
+        estimates = self._estimates
+        combos_of = self._combos_of
+        for dead in consumed:
+            for combo in combos_of.pop(dead, ()):
+                if estimates.pop(combo, None) is None:
+                    continue
+                for member in combo:
+                    if member == dead:
+                        continue
+                    member_combos = combos_of.get(member)
+                    if member_combos is not None:
+                        member_combos.discard(combo)
         if self.estimator == "hll":
             # Register-wise max is lossless for unions, so the new
             # table's sketch is exact relative to its inputs' sketches.
@@ -118,7 +149,7 @@ class SmallestOutputPolicy(ChoosePolicy):
             return
         for subset in combinations(sorted(others), arity - 1):
             combo = tuple(sorted((*subset, new_id)))
-            self._estimates[combo] = self._estimate(state, combo)
+            self._add_estimate(state, combo)
 
     def extras(self) -> dict:
         return {"estimate_calls": self.estimate_calls, "estimator": self.estimator}

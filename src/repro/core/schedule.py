@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import InvalidScheduleError
-from .cost import DEFAULT_COST, MergeCostFunction
+from .backend import BackendSpec, FrozensetBackend, SetBackend, SetHandle, make_backend
+from .cost import CardinalityCost, DEFAULT_COST, MergeCostFunction
 from .instance import MergeInstance
 from .tree import MergeNode, MergeTree
 
@@ -49,18 +50,29 @@ class MergeStep:
 
 @dataclass(frozen=True)
 class ScheduleReplay:
-    """Result of symbolically executing a schedule over an instance."""
+    """Result of symbolically executing a schedule over an instance.
 
-    tables: dict[int, frozenset]
+    ``tables`` holds the *backend handles* of every table the schedule
+    touched; under the default ``frozenset`` backend a handle is the key
+    set itself.  Use :meth:`key_set` (or :attr:`final_set`) to obtain
+    plain frozensets regardless of the backend that ran the replay.
+    """
+
+    tables: dict[int, SetHandle]
     final_id: int
     simplified_cost: float
     actual_cost: float
     submodular_cost: float
     step_output_costs: tuple[float, ...]
+    backend: SetBackend = field(default_factory=FrozensetBackend)
+
+    def key_set(self, table_id: int) -> frozenset:
+        """The key set of any replayed table, decoded from its handle."""
+        return self.backend.decode(self.tables[table_id])
 
     @property
     def final_set(self) -> frozenset:
-        return self.tables[self.final_id]
+        return self.key_set(self.final_id)
 
 
 class MergeSchedule:
@@ -174,21 +186,33 @@ class MergeSchedule:
         self,
         instance: MergeInstance,
         cost_fn: MergeCostFunction = DEFAULT_COST,
+        backend: BackendSpec = None,
     ) -> ScheduleReplay:
-        """Symbolically execute the schedule and compute all cost metrics."""
+        """Symbolically execute the schedule and compute all cost metrics.
+
+        ``backend`` selects the set kernel (see :mod:`repro.core.backend`);
+        the costs are identical for every kernel, only the speed differs.
+        """
         if instance.n != self.n_initial:
             raise InvalidScheduleError(
                 f"schedule expects {self.n_initial} tables, instance has {instance.n}"
             )
-        tables: dict[int, frozenset] = dict(enumerate(instance.sets))
+        backend = make_backend(backend)
+        # Cardinality cost (the default) reads sizes straight off the
+        # handles; any other cost function — including CardinalityCost
+        # subclasses that override ``of`` — needs the decoded key set.
+        if type(cost_fn) is CardinalityCost:
+            cost_of = backend.size
+        else:
+            cost_of = lambda handle: cost_fn.of(backend.decode(handle))  # noqa: E731
+        tables: dict[int, SetHandle] = dict(
+            enumerate(backend.encode_instance(instance))
+        )
         step_costs: list[float] = []
         for step in self.steps:
-            merged: set = set()
-            for table_id in step.inputs:
-                merged.update(tables[table_id])
-            output = frozenset(merged)
+            output = backend.union(tables[table_id] for table_id in step.inputs)
             tables[step.output] = output
-            step_costs.append(cost_fn.of(output))
+            step_costs.append(cost_of(output))
 
         leaf_cost = sum(cost_fn.of(s) for s in instance.sets)
         submodular = sum(step_costs)
@@ -204,6 +228,7 @@ class MergeSchedule:
             actual_cost=actual,
             submodular_cost=submodular,
             step_output_costs=tuple(step_costs),
+            backend=backend,
         )
 
     def to_tree(self) -> tuple[MergeTree, tuple[int, ...]]:
@@ -257,9 +282,10 @@ def evaluate_schedule(
     schedule: MergeSchedule,
     instance: MergeInstance,
     cost_fn: MergeCostFunction = DEFAULT_COST,
+    backend: BackendSpec = None,
 ) -> ScheduleMetrics:
     """Replay ``schedule`` over ``instance`` and summarize its costs."""
-    replay = schedule.replay(instance, cost_fn)
+    replay = schedule.replay(instance, cost_fn, backend=backend)
     return ScheduleMetrics(
         simplified_cost=replay.simplified_cost,
         actual_cost=replay.actual_cost,

@@ -27,6 +27,10 @@ class PolicyError(ReproError):
     """A compaction policy was misused or misconfigured."""
 
 
+class BackendError(ReproError):
+    """A set backend is unknown or was driven outside its contract."""
+
+
 class ConfigError(ReproError):
     """A configuration object holds inconsistent or out-of-range values."""
 

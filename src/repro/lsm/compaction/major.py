@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ...core.backend import canonical_backend_name
 from ...core.greedy import GreedyMerger
 from ...core.instance import MergeInstance
 from ...core.policies import canonical_policy_name
@@ -41,9 +42,11 @@ class MajorCompaction(CompactionStrategy):
         seed: Optional[int] = None,
         drop_tombstones: bool = True,
         bloom_fp_rate: float = 0.01,
+        backend: str = "frozenset",
         **policy_kwargs,
     ) -> None:
         self.policy_name = canonical_policy_name(policy)
+        self.backend = canonical_backend_name(backend)
         self.k = k
         if lanes is None:
             lanes = (
@@ -75,7 +78,11 @@ class MajorCompaction(CompactionStrategy):
 
         instance = MergeInstance(tuple(table.key_set for table in tables))
         merger = GreedyMerger(
-            self.policy_name, k=self.k, seed=self.seed, **self.policy_kwargs
+            self.policy_name,
+            k=self.k,
+            seed=self.seed,
+            backend=self.backend,
+            **self.policy_kwargs,
         )
         greedy = merger.run(instance)
 

@@ -39,8 +39,20 @@ class SimulationConfig:
     disk_bandwidth: float = DEFAULT_BANDWIDTH_BYTES_PER_SEC
     disk_seek_seconds: float = DEFAULT_SEEK_SECONDS
     seed: int = 0
+    backend: str = "frozenset"  # set kernel for the merge policies
 
     def __post_init__(self) -> None:
+        # Normalize + validate the backend name eagerly so a typo fails
+        # at configuration time, not n sweeps into an experiment.
+        from ..core.backend import canonical_backend_name
+        from ..errors import BackendError
+
+        try:
+            object.__setattr__(
+                self, "backend", canonical_backend_name(self.backend)
+            )
+        except BackendError as exc:
+            raise ConfigError(str(exc)) from None
         if not 0.0 <= self.update_fraction <= 1.0:
             raise ConfigError("update_fraction must be in [0, 1]")
         if self.k < 2:

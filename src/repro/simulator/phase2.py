@@ -63,6 +63,7 @@ def build_strategy(
         k=config.k,
         lanes=config.parallel_lanes if parallel else 1,
         seed=seed if seed is not None else config.seed,
+        backend=config.backend,
         **kwargs,
     )
 

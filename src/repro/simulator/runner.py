@@ -108,8 +108,12 @@ def sweep_memtable_capacity(
     n_sstables: int = 100,
     distribution: str = "latest",
     seed: int = 0,
+    backend: str | None = None,
 ) -> SweepResult:
-    """Figure 8's x-axis: memtable size with a fixed sstable count."""
+    """Figure 8's x-axis: memtable size with a fixed sstable count.
+
+    ``backend=None`` keeps the config default (frozenset).
+    """
     labels = tuple(labels) if labels is not None else ("BT(I)",)
     points = []
     for capacity in capacities:
@@ -119,6 +123,8 @@ def sweep_memtable_capacity(
             distribution=distribution,
             seed=seed,
         )
+        if backend is not None:
+            config = replace(config, backend=backend)
         comparison = run_comparison(config, labels, runs)
         points.append(
             SweepPoint(x=float(capacity), config=config, per_strategy=comparison.per_strategy)

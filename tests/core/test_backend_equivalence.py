@@ -1,0 +1,159 @@
+"""Differential harness: the bitset kernel is bit-for-bit equivalent.
+
+Both set backends are exact, so for every policy, fan-in and seed the
+greedy framework must produce *identical* schedules (same steps, same
+tie-breaks), identical replay costs and the same final key set under
+``backend="frozenset"`` and ``backend="bitset"``.  These tests are the
+safety net that lets the fast kernel stand in for the reference one
+everywhere — if a backend ever diverges by a single comparison, the
+schedules diverge and this file catches it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MergeInstance, merge_with
+from repro.core.backend import make_backend
+from tests.helpers import instances, random_instance, worked_example
+
+#: Every registered policy family, including both SO estimators and all
+#: BT suborders (via their convenience registrations).
+POLICIES = (
+    "SI",
+    "SO",
+    "smallest_output_hll",
+    "BT(I)",
+    "BT(O)",
+    "balance_tree",  # suborder="input" default
+    "LM",
+    "random",
+)
+
+FAN_INS = (2, 3, 4)
+SEEDS = (0, 1, 2)
+
+
+def run_both(policy: str, instance: MergeInstance, k: int, seed: int):
+    reference = merge_with(policy, instance, k=k, seed=seed)
+    fast = merge_with(policy, instance, k=k, seed=seed, backend="bitset")
+    return reference, fast
+
+
+class TestScheduleEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("k", FAN_INS)
+    def test_identical_schedules_on_random_instances(self, policy, k):
+        for seed in SEEDS:
+            instance = random_instance(
+                n=11, universe=50, seed=1000 * k + seed, max_size=25
+            )
+            reference, fast = run_both(policy, instance, k, seed)
+            assert reference.schedule == fast.schedule, (
+                f"{policy} k={k} seed={seed}: schedules diverged"
+            )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_identical_on_worked_example(self, policy):
+        reference, fast = run_both(policy, worked_example(), 2, 0)
+        assert reference.schedule == fast.schedule
+
+    @pytest.mark.parametrize("k", FAN_INS)
+    def test_identical_on_heavy_overlap(self, k):
+        # All sets share a common core: stresses union/intersection ties.
+        sets = [frozenset(range(10)) | {100 + i} for i in range(8)]
+        instance = MergeInstance(tuple(sets))
+        for policy in POLICIES:
+            reference, fast = run_both(policy, instance, k, 0)
+            assert reference.schedule == fast.schedule, policy
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("k", FAN_INS)
+    def test_identical_costs_and_final_set(self, policy, k):
+        for seed in SEEDS:
+            instance = random_instance(
+                n=10, universe=40, seed=31 * k + seed, max_size=20
+            )
+            reference, fast = run_both(policy, instance, k, seed)
+            ref_replay = reference.replay(instance)
+            fast_replay = fast.replay(instance, backend="bitset")
+            assert ref_replay.simplified_cost == fast_replay.simplified_cost
+            assert ref_replay.actual_cost == fast_replay.actual_cost
+            assert ref_replay.submodular_cost == fast_replay.submodular_cost
+            assert ref_replay.step_output_costs == fast_replay.step_output_costs
+            assert ref_replay.final_set == fast_replay.final_set
+
+    def test_bitset_replay_decodes_every_table(self):
+        instance = random_instance(n=8, universe=30, seed=7)
+        result = merge_with("SI", instance, backend="bitset")
+        frozen = result.schedule.replay(instance)
+        bits = result.schedule.replay(instance, backend="bitset")
+        for table_id in frozen.tables:
+            assert frozen.key_set(table_id) == bits.key_set(table_id)
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(instance=instances(max_sets=6), data=st.data())
+    def test_arbitrary_instances(self, instance, data):
+        policy = data.draw(st.sampled_from(POLICIES))
+        k = data.draw(st.sampled_from(FAN_INS))
+        seed = data.draw(st.integers(0, 5))
+        reference, fast = run_both(policy, instance, k, seed)
+        assert reference.schedule == fast.schedule
+        assert (
+            reference.replay(instance).simplified_cost
+            == fast.replay(instance, backend="bitset").simplified_cost
+        )
+
+
+class TestBackendStateInvariants:
+    def test_greedy_state_holds_backend_handles(self):
+        """Under bitset the live handles really are ints (not sets)."""
+        from repro.core.greedy import GreedyMerger
+
+        instance = random_instance(n=6, universe=20, seed=3)
+        backend = make_backend("bitset")
+        encoded = backend.encode_instance(instance)
+        assert all(isinstance(handle, int) for handle in encoded)
+        result = GreedyMerger("SI", backend="bitset").run(instance)
+        assert result.schedule.n_steps == instance.n - 1
+
+    def test_replay_honors_cardinality_cost_subclasses(self):
+        """The cardinality fast path must not swallow overridden ``of``."""
+        from repro.core import CardinalityCost
+
+        class CappedCost(CardinalityCost):
+            def of(self, keys):
+                return min(len(keys), 2)
+
+        instance = random_instance(n=6, universe=15, seed=5)
+        result = merge_with("SI", instance)
+        for backend in (None, "bitset"):
+            replay = result.schedule.replay(
+                instance, CappedCost(), backend=backend
+            )
+            assert all(cost <= 2 for cost in replay.step_output_costs)
+
+    def test_default_cost_replay_costs_stay_integers(self):
+        """Cardinality costs are counts; both kernels must return ints."""
+        instance = random_instance(n=6, universe=15, seed=6)
+        result = merge_with("SI", instance)
+        for backend in (None, "bitset"):
+            replay = result.schedule.replay(instance, backend=backend)
+            assert all(
+                isinstance(cost, int) for cost in replay.step_output_costs
+            )
+
+    def test_replay_costs_match_between_merge_and_replay_backends(self):
+        """Schedules from one backend replay identically under the other."""
+        instance = random_instance(n=9, universe=35, seed=11)
+        fast = merge_with("LM", instance, backend="bitset")
+        assert (
+            fast.schedule.replay(instance).simplified_cost
+            == fast.schedule.replay(instance, backend="bitset").simplified_cost
+        )

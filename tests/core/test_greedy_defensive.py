@@ -78,6 +78,53 @@ class TestPolicyValidation:
         assert result.policy_name == "first-two"
 
 
+class TestSizesLiveInvariant:
+    """``state.sizes`` must track ``state.live`` exactly at every step."""
+
+    class _AuditingPolicy(ChoosePolicy):
+        """Merges the two lowest ids, asserting the invariant each call."""
+
+        name = "auditing"
+
+        def __init__(self):
+            self.checks = 0
+
+        def _audit(self, state: GreedyState):
+            assert state.sizes.keys() == state.live.keys(), (
+                "sizes and live tables diverged: "
+                f"{sorted(state.sizes)} vs {sorted(state.live)}"
+            )
+            for table_id in state.live:
+                assert state.sizes[table_id] == len(state.keys(table_id))
+            self.checks += 1
+
+        def prepare(self, state: GreedyState):
+            self._audit(state)
+
+        def choose(self, state: GreedyState):
+            self._audit(state)
+            return tuple(sorted(state.live))[: state.arity_for_next_merge()]
+
+        def observe_merge(self, state, consumed, new_id):
+            self._audit(state)
+
+    @pytest.mark.parametrize("backend", ["frozenset", "bitset"])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_sizes_and_live_never_diverge(self, backend, k):
+        policy = self._AuditingPolicy()
+        inst = worked_example()
+        result = GreedyMerger(policy, k=k, backend=backend).run(inst)
+        assert result.replay(inst).final_set == inst.ground_set
+        assert policy.checks > 0
+
+    @pytest.mark.parametrize("backend", ["frozenset", "bitset"])
+    def test_audit_runs_at_every_step(self, backend):
+        policy = self._AuditingPolicy()
+        inst = worked_example()  # 5 sets -> 4 merges at k=2
+        GreedyMerger(policy, k=2, backend=backend).run(inst)
+        assert policy.checks == 1 + 4 * 2
+
+
 class TestStateHelpers:
     def test_arity_for_next_merge_caps_at_live(self):
         inst = MergeInstance.from_iterables([{1}, {2}, {3}])

@@ -1,5 +1,6 @@
 """Tests for key-set helpers and the bitset encoder."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -66,3 +67,47 @@ class TestBitsetEncoder:
         assert enc.decode(ea | eb) == a | b
         assert enc.decode(ea & eb) == a & b
         assert (ea & eb).bit_count() == len(a & b)
+
+
+class TestBitsetEncoderEdgeCases:
+    def test_empty_set_round_trip(self):
+        enc = BitsetEncoder()
+        assert enc.encode(frozenset()) == 0
+        assert enc.decode(0) == frozenset()
+        assert enc.universe_size == 0
+
+    def test_empty_set_round_trip_with_populated_encoder(self):
+        enc = BitsetEncoder([{1, 2, 3}])
+        assert enc.encode(frozenset()) == 0
+        assert enc.decode(0) == frozenset()
+
+    @pytest.mark.parametrize("position", [-1, -5, 2, 100])
+    def test_key_at_out_of_range(self, position):
+        enc = BitsetEncoder([{10}, {20}])  # universe {10, 20} -> bits 0, 1
+        with pytest.raises(IndexError, match="out of range"):
+            enc.key_at(position)
+
+    def test_key_at_empty_encoder(self):
+        with pytest.raises(IndexError):
+            BitsetEncoder().key_at(0)
+
+    def test_re_observation_keeps_bit_assignment(self):
+        enc = BitsetEncoder([{1, 2}, {2, 3}])
+        before = [enc.key_at(i) for i in range(enc.universe_size)]
+        first = enc.encode({1, 2, 3})
+        # Re-observing already-seen keys (in any order, any number of
+        # times) must neither grow the universe nor move any bit.
+        for _ in range(3):
+            enc.observe([3, 2, 1])
+            enc.observe({2})
+        assert enc.universe_size == len(before)
+        assert [enc.key_at(i) for i in range(enc.universe_size)] == before
+        assert enc.encode({1, 2, 3}) == first
+
+    def test_new_keys_extend_without_moving_old_bits(self):
+        enc = BitsetEncoder([{"a"}])
+        old = enc.encode({"a"})
+        enc.observe(["b"])
+        assert enc.encode({"a"}) == old
+        assert enc.universe_size == 2
+
