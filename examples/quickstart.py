@@ -14,7 +14,7 @@ Run:  python examples/quickstart.py
 
 from repro import MergeInstance, merge_with, optimal_merge
 from repro.analysis import render_schedule
-from repro.core import lopt
+from repro.core import HllEstimator, lopt
 
 SETS = [
     {1, 2, 3, 5},   # A1
@@ -30,12 +30,20 @@ def main() -> None:
     print("The paper's working example:", instance.describe())
     print(f"LOPT (sum of input sizes) = {lopt(instance)}\n")
 
+    # SO's union-size oracle is a pluggable estimator: "exact" counts
+    # materialized unions, "hll" uses HyperLogLog sketches (§5.1), and a
+    # pre-built HllEstimator instance tunes precision/seed directly.
     heuristics = [
         ("BALANCETREE (arrival)", "balance_tree", {"suborder": "arrival"}),
         ("BALANCETREE BT(I)", "BT(I)", {}),
         ("SMALLESTINPUT (SI)", "SI", {}),
-        ("SMALLESTOUTPUT (SO)", "SO", {}),
-        ("SMALLESTOUTPUT via HLL", "smallest_output_hll", {}),
+        ("SMALLESTOUTPUT (SO)", "SO", {"estimator": "exact"}),
+        ("SMALLESTOUTPUT via HLL", "SO", {"estimator": "hll"}),
+        (
+            "SMALLESTOUTPUT via HLL (p=14)",
+            "SO",
+            {"estimator": HllEstimator(precision=14)},
+        ),
         ("LARGESTMATCH (LM)", "LM", {}),
         ("RANDOM (seed 7)", "random", {}),
     ]

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from ..core.backend import available_backends
+from ..core.estimator import available_estimators
 from ..simulator import (
     SimulationConfig,
     sweep_memtable_capacity,
@@ -69,6 +70,23 @@ def _fast_figure7_base(distribution: str) -> SimulationConfig:
     )
 
 
+def _apply_overrides(
+    base: SimulationConfig,
+    backend: Optional[str],
+    estimator: Optional[str],
+    hll_precision: Optional[int],
+) -> SimulationConfig:
+    """Override the kernel/estimator knobs of a sweep's base config."""
+    updates = {}
+    if backend is not None:
+        updates["backend"] = backend
+    if estimator is not None:
+        updates["estimator"] = estimator
+    if hll_precision is not None:
+        updates["hll_precision"] = hll_precision
+    return replace(base, **updates) if updates else base
+
+
 # ----------------------------------------------------------------------
 # Figure 7 — strategy comparison (cost and time vs update %)
 # ----------------------------------------------------------------------
@@ -79,14 +97,18 @@ def figure7(
     base: Optional[SimulationConfig] = None,
     fractions: Sequence[float] = UPDATE_FRACTIONS,
     backend: Optional[str] = None,
+    estimator: Optional[str] = None,
+    hll_precision: Optional[int] = None,
 ) -> tuple[ExperimentResult, ExperimentResult]:
     """Both panels of Figure 7 from a single sweep.
 
     ``base`` and ``fractions`` override the paper's settings (used by
     tests to exercise the full pipeline at a tiny scale).  ``backend``
-    selects the set kernel the merge policies run on (``None`` keeps
-    ``base``'s choice); the cost panel is kernel-independent, the time
-    panel's strategy overhead shrinks under ``"bitset"``.
+    selects the set kernel the merge policies run on and ``estimator`` /
+    ``hll_precision`` the union-cardinality oracle of the SO and BT(O)
+    strategies (``None`` keeps ``base``'s choice); the cost panel is
+    kernel-independent, the time panel's strategy overhead shrinks under
+    ``"bitset"`` and the vectorized HLL estimator.
     """
     runs = runs if runs is not None else (1 if fast else 3)
     if base is None:
@@ -95,8 +117,7 @@ def figure7(
             if fast
             else SimulationConfig.figure7(0.0, distribution)
         )
-    if backend is not None:
-        base = replace(base, backend=backend)
+    base = _apply_overrides(base, backend, estimator, hll_precision)
     sweep = sweep_update_fraction(base, fractions, FIG7_STRATEGIES, runs)
 
     cost_rows, time_rows = [], []
@@ -158,16 +179,24 @@ def figure7a(
     fast: bool = False,
     runs: Optional[int] = None,
     backend: Optional[str] = None,
+    estimator: Optional[str] = None,
+    hll_precision: Optional[int] = None,
 ) -> ExperimentResult:
-    return figure7(fast, runs, backend=backend)[0]
+    return figure7(
+        fast, runs, backend=backend, estimator=estimator, hll_precision=hll_precision
+    )[0]
 
 
 def figure7b(
     fast: bool = False,
     runs: Optional[int] = None,
     backend: Optional[str] = None,
+    estimator: Optional[str] = None,
+    hll_precision: Optional[int] = None,
 ) -> ExperimentResult:
-    return figure7(fast, runs, backend=backend)[1]
+    return figure7(
+        fast, runs, backend=backend, estimator=estimator, hll_precision=hll_precision
+    )[1]
 
 
 # ----------------------------------------------------------------------
@@ -179,7 +208,12 @@ def figure8(
     distribution: str = "latest",
     capacities: Optional[Sequence[int]] = None,
     backend: Optional[str] = None,
+    estimator: Optional[str] = None,
+    hll_precision: Optional[int] = None,
 ) -> ExperimentResult:
+    # BT(I) never consults an estimator, so only the backend override
+    # can change anything here; accepted for CLI uniformity.
+    del estimator, hll_precision
     runs = runs if runs is not None else (1 if fast else 3)
     if capacities is None:
         capacities = FIG8_CAPACITIES_FAST if fast else FIG8_CAPACITIES
@@ -259,6 +293,8 @@ def figure9a(
     fast: bool = False,
     runs: Optional[int] = None,
     backend: Optional[str] = None,
+    estimator: Optional[str] = None,
+    hll_precision: Optional[int] = None,
 ) -> ExperimentResult:
     runs = runs if runs is not None else (1 if fast else 3)
     series: dict[str, list[tuple[float, float]]] = {}
@@ -269,8 +305,7 @@ def figure9a(
             if fast
             else SimulationConfig.figure7(0.0, distribution)
         )
-        if backend is not None:
-            base = replace(base, backend=backend)
+        base = _apply_overrides(base, backend, estimator, hll_precision)
         sweep = sweep_update_fraction(base, UPDATE_FRACTIONS, ("SI",), runs)
         points = _cost_time_points(sweep)
         series[distribution] = points
@@ -303,6 +338,8 @@ def figure9b(
     fast: bool = False,
     runs: Optional[int] = None,
     backend: Optional[str] = None,
+    estimator: Optional[str] = None,
+    hll_precision: Optional[int] = None,
 ) -> ExperimentResult:
     runs = runs if runs is not None else (1 if fast else 3)
     counts = (
@@ -316,8 +353,7 @@ def figure9b(
         base = replace(
             SimulationConfig.figure7(0.0, distribution), update_fraction=0.6
         )
-        if backend is not None:
-            base = replace(base, backend=backend)
+        base = _apply_overrides(base, backend, estimator, hll_precision)
         sweep = sweep_operationcount(base, counts, ("SI",), runs)
         points = _cost_time_points(sweep)
         series[distribution] = points
@@ -360,16 +396,32 @@ def run_experiment(
     fast: bool = False,
     runs: Optional[int] = None,
     backend: Optional[str] = None,
+    estimator: Optional[str] = None,
+    hll_precision: Optional[int] = None,
 ) -> list[ExperimentResult]:
     """Run one experiment id (``fig7`` expands to both panels)."""
     if experiment_id == "fig7":
-        return list(figure7(fast, runs, backend=backend))
+        return list(
+            figure7(
+                fast,
+                runs,
+                backend=backend,
+                estimator=estimator,
+                hll_precision=hll_precision,
+            )
+        )
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"known: {sorted(EXPERIMENTS)} + ['fig7', 'all']"
         )
-    result = EXPERIMENTS[experiment_id](fast=fast, runs=runs, backend=backend)
+    result = EXPERIMENTS[experiment_id](
+        fast=fast,
+        runs=runs,
+        backend=backend,
+        estimator=estimator,
+        hll_precision=hll_precision,
+    )
     return [result]  # type: ignore[list-item]
 
 
@@ -388,8 +440,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         "--backend",
         default=None,
         choices=available_backends(),
-        help="set kernel for the merge policies (default: frozenset; "
-        "see docs/backends.md)",
+        help="set kernel for the merge policies (default: bitset at "
+        "paper scale; see docs/backends.md)",
+    )
+    parser.add_argument(
+        "--estimator",
+        default=None,
+        choices=available_estimators(),
+        help="union-cardinality oracle for the SO/BT(O) strategies "
+        "(default: hll; see docs/estimators.md)",
+    )
+    parser.add_argument(
+        "--hll-precision",
+        type=int,
+        default=None,
+        help="HyperLogLog precision p (registers = 2**p; default: 12)",
     )
     args = parser.parse_args(argv)
 
@@ -399,7 +464,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         ids = [args.experiment]
     for experiment_id in ids:
         for result in run_experiment(
-            experiment_id, fast=args.fast, runs=args.runs, backend=args.backend
+            experiment_id,
+            fast=args.fast,
+            runs=args.runs,
+            backend=args.backend,
+            estimator=args.estimator,
+            hll_precision=args.hll_precision,
         ):
             result.print()
             print()

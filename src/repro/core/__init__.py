@@ -42,6 +42,14 @@ from .cost import (
     simplified_cost,
     submodular_merge_cost,
 )
+from .estimator import (
+    CardinalityEstimator,
+    ExactEstimator,
+    HllEstimator,
+    available_estimators,
+    canonical_estimator_name,
+    make_estimator,
+)
 from .freq_approx import freq_binary_merging, make_dummy_instance
 from .greedy import GreedyMerger, GreedyResult, merge_with
 from .instance import MergeInstance
@@ -76,8 +84,11 @@ from .tree import (
 __all__ = [
     "BitsetEncoder",
     "CardinalityCost",
+    "CardinalityEstimator",
+    "ExactEstimator",
     "GreedyMerger",
     "GreedyResult",
+    "HllEstimator",
     "InitOverheadCost",
     "MergeCostFunction",
     "MergeInstance",
@@ -91,10 +102,12 @@ __all__ = [
     "WeightedKeyCost",
     "actual_cost",
     "adversarial",
+    "available_estimators",
     "available_policies",
     "balance_tree_bound",
     "balanced_tree",
     "brute_force_optimal",
+    "canonical_estimator_name",
     "check_monotone",
     "check_submodular",
     "enumerate_schedules",
@@ -113,6 +126,7 @@ __all__ = [
     "left_deep_tree",
     "lopt",
     "make_dummy_instance",
+    "make_estimator",
     "make_policy",
     "merge_with",
     "minor",

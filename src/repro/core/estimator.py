@@ -1,0 +1,382 @@
+"""Pluggable union-cardinality estimators for the greedy merging core.
+
+The paper's output-sensitive policies — SMALLESTOUTPUT (§4.3.3/§5.1) and
+BALANCETREE(O) — reduce to one question asked thousands of times per
+compaction: *how large is the union of this candidate combination of
+live tables?*  A :class:`CardinalityEstimator` abstracts that question
+away from the policies, mirroring the :class:`~repro.core.backend.SetBackend`
+layer for set algebra:
+
+* :class:`ExactEstimator` — delegates to the active set backend's
+  ``union_size`` (materialized counting; the reference semantics, exact
+  on either the frozenset or bitset kernel).
+* :class:`HllEstimator` — the paper's practical scheme (§5.1): one
+  HyperLogLog sketch per live table, candidate unions estimated by the
+  fused register-max kernel without materializing anything, and merged
+  tables summarized losslessly by register-wise max instead of
+  re-hashing a single key.
+
+Estimators are *per-run* objects, like backends: they cache per-table
+state (sketches) keyed by live table id, so create a fresh one per
+greedy run (which is what :func:`make_estimator` callers and
+:class:`~repro.lsm.compaction.major.MajorCompaction` do).  The lsm layer
+can pre-seed an :class:`HllEstimator` with persistent sstable sketches
+(:meth:`HllEstimator.seed_sketches`) so background-compaction lifetimes
+never hash the same key twice; ``prepare`` then only builds sketches for
+tables that arrived without one.
+
+The differential harness in ``tests/core/test_estimator_equivalence.py``
+pins the contracts: ``exact`` reproduces the pre-layer reference
+schedules bit-for-bit, and numpy/pure HLL paths return identical
+estimates and therefore identical schedules.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Mapping, Sequence, Union
+
+from ..errors import EstimatorError
+from ..hll import HyperLogLog
+from ..hll.registers import RegisterArray
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .policies.base import GreedyState
+
+try:  # scratch buffers for the fused union kernel
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+
+class CardinalityEstimator(ABC):
+    """Union-cardinality oracle over the live tables of a greedy run."""
+
+    name: str = "abstract"
+
+    def prepare(self, state: "GreedyState") -> None:
+        """Called once before the first iteration; build per-table state."""
+
+    @abstractmethod
+    def union_cardinality(self, state: "GreedyState", combo: tuple[int, ...]) -> float:
+        """Estimated ``|union of live tables in combo|``."""
+
+    def union_cardinalities(
+        self, state: "GreedyState", combos: Sequence[tuple[int, ...]]
+    ) -> list[float]:
+        """Estimates for many same-arity combos (batch of
+        :meth:`union_cardinality`; kernels may vectorize the whole batch
+        but must return identical values)."""
+        return [self.union_cardinality(state, combo) for combo in combos]
+
+    def observe_merge(
+        self, state: "GreedyState", consumed: tuple[int, ...], new_id: int
+    ) -> None:
+        """Called after each merge so per-table state follows the run."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class ExactEstimator(CardinalityEstimator):
+    """Reference estimator: count the union through the set backend."""
+
+    name = "exact"
+
+    def union_cardinality(self, state: "GreedyState", combo: tuple[int, ...]) -> float:
+        live = state.live
+        return float(
+            state.backend.union_size(live[table_id] for table_id in combo)
+        )
+
+
+class HllEstimator(CardinalityEstimator):
+    """HyperLogLog estimator (§5.1): per-table sketches, lossless unions.
+
+    Parameters
+    ----------
+    precision / seed:
+        Forwarded to every sketch; pre-seeded sketches must match.
+    force_pure:
+        Build sketches on the pure-Python register backing even when
+        numpy is available (differential tests and ablations).  Pre-built
+        sketches are bypassed in this mode so the whole run exercises the
+        fallback kernels.
+    """
+
+    name = "hll"
+
+    def __init__(
+        self, precision: int = 12, seed: int = 0, force_pure: bool = False
+    ) -> None:
+        self.precision = precision
+        self.seed = seed
+        self.force_pure = force_pure
+        self._sketches: dict[int, HyperLogLog] = {}
+        self._scratch = None
+        # Persistent term matrix for the batched union kernel: one row
+        # per live sketch, merged tables appended as row-wise mins, and
+        # a table-id -> row vector so whole combo batches map to row
+        # indices in one numpy gather.  None when numpy is unavailable,
+        # force_pure is set, or a sketch leaves the term domain.
+        self._matrix = None
+        self._row_of = None
+        # Ids whose sketches were explicitly seeded since the last
+        # prepare(); only these survive into a new run — anything else
+        # (a previous run's tables) is stale and gets rebuilt.
+        self._seeded_ids: set[int] = set()
+        self.sketches_built = 0  # tables hashed from raw keys (not reused)
+
+    # ------------------------------------------------------------------
+    # Sketch lifecycle
+    # ------------------------------------------------------------------
+    def seed_sketches(self, sketches: Mapping[int, HyperLogLog]) -> None:
+        """Adopt pre-built sketches keyed by live table id.
+
+        The lsm layer hands in persistent sstable sketches here so
+        ``prepare`` skips re-hashing those tables' keys.
+        """
+        for table_id, sketch in sketches.items():
+            if sketch.precision != self.precision or sketch.seed != self.seed:
+                raise EstimatorError(
+                    f"seeded sketch for table {table_id} has "
+                    f"p={sketch.precision}/seed={sketch.seed}; estimator "
+                    f"expects p={self.precision}/seed={self.seed}"
+                )
+            self._sketches[table_id] = sketch
+            self._seeded_ids.add(table_id)
+
+    def sketch(self, table_id: int) -> HyperLogLog:
+        """The sketch currently summarizing a live table."""
+        return self._sketches[table_id]
+
+    def _build(self, state: "GreedyState", table_id: int) -> HyperLogLog:
+        self.sketches_built += 1
+        return HyperLogLog.of(
+            state.keys(table_id),
+            precision=self.precision,
+            seed=self.seed,
+            force_pure=self.force_pure,
+        )
+
+    def prepare(self, state: "GreedyState") -> None:
+        live = state.live
+        # Keep only live, *explicitly seeded* sketches — a reused
+        # estimator's leftovers from a previous run would otherwise
+        # alias unrelated table ids — and build whatever is missing.
+        # Input ids share the instance-level sketch cache so repeated
+        # runs over one MergeInstance hash its keys once.
+        self._sketches = {
+            table_id: sketch
+            for table_id, sketch in self._sketches.items()
+            if table_id in live and table_id in self._seeded_ids
+        }
+        self._seeded_ids = set()
+        missing = [table_id for table_id in live if table_id not in self._sketches]
+        if missing:
+            instance_cache = None
+            if not self.force_pure:
+                cached = getattr(state.instance, "hll_sketches", None)
+                if cached is not None:
+                    instance_cache = cached(self.precision, self.seed)
+            for table_id in missing:
+                if instance_cache is not None and table_id < len(instance_cache):
+                    self._sketches[table_id] = instance_cache[table_id]
+                else:
+                    self._sketches[table_id] = self._build(state, table_id)
+        # Unconditionally: the fully-seeded path (the lsm layer's
+        # persistent sketches) needs the batched kernel just as much.
+        self._build_matrix()
+
+    def _build_matrix(self) -> None:
+        self._matrix = None
+        self._row_of = None
+        if _np is None or self.force_pure or not self._sketches:
+            return
+        registers = [sketch._registers for sketch in self._sketches.values()]
+        if any(not array.is_vectorized for array in registers):
+            return
+        # Pick the narrowest term domain the initial sketches allow;
+        # merged rows are mins, so ranks never grow past this again.
+        matrix = RegisterArray.term_matrix(
+            1 << self.precision,
+            max_rank=max(array.max_rank() for array in registers),
+            capacity=2 * len(self._sketches),
+        )
+        if matrix is None:  # rank beyond every term domain
+            return
+        row_of = _np.full(2 * len(self._sketches) + 1, -1, dtype=_np.intp)
+        for table_id, sketch in self._sketches.items():
+            row = matrix.append(sketch._registers)
+            if table_id >= len(row_of):
+                row_of = _np.concatenate(
+                    [row_of, _np.full(table_id + 1, -1, dtype=_np.intp)]
+                )
+            row_of[table_id] = row
+        self._matrix = matrix
+        self._row_of = row_of
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def union_cardinality(self, state: "GreedyState", combo: tuple[int, ...]) -> float:
+        sketches = self._sketches
+        first = sketches[combo[0]]
+        if self._scratch is None and _np is not None and not self.force_pure:
+            self._scratch = _np.empty(first.m, dtype=_np.uint8)
+        harmonic_sum, zeros = RegisterArray.union_stats(
+            [sketches[table_id]._registers for table_id in combo],
+            scratch=self._scratch,
+        )
+        return first._estimate_from_stats(harmonic_sum, zeros)
+
+    def union_cardinalities(
+        self, state: "GreedyState", combos: Sequence[tuple[int, ...]]
+    ) -> list[float]:
+        if self._matrix is None or len(combos) < 2:
+            return [self.union_cardinality(state, combo) for combo in combos]
+        # One gather maps every table id in the batch to its matrix row;
+        # the raw estimates divide out vectorized (same IEEE ops as the
+        # scalar path, so values are bit-identical) and only rows in the
+        # linear-counting regime fall back to a scalar log.
+        rows = self._row_of[_np.asarray(combos, dtype=_np.intp)]
+        first = self._sketches[combos[0][0]]
+        m = first.m
+        alpha_mm = first._alpha_mm
+        threshold = 2.5 * m
+        term_one = self._matrix.term_one
+        log = math.log
+        results: list[float] = []
+        for totals, zeros in self._matrix.union_stats_chunks(rows):
+            raws = alpha_mm / (totals / term_one)
+            for raw, zero_count in zip(raws.tolist(), zeros.tolist()):
+                if raw <= threshold and zero_count:
+                    results.append(m * log(m / zero_count))
+                else:
+                    results.append(raw)
+        return results
+
+    def observe_merge(
+        self, state: "GreedyState", consumed: tuple[int, ...], new_id: int
+    ) -> None:
+        # Register-wise max is lossless for unions, so the new table's
+        # sketch is exact relative to its inputs' sketches — no key of a
+        # merged table is ever hashed again.
+        sketches = self._sketches
+        merged = sketches[consumed[0]].union(
+            *(sketches[table_id] for table_id in consumed[1:])
+        )
+        for table_id in consumed:
+            del sketches[table_id]
+        sketches[new_id] = merged
+        if self._matrix is not None:
+            # The merged row is the min of the consumed rows — the same
+            # lossless union, appended without re-encoding anything.
+            row_of = self._row_of
+            row = self._matrix.append_min(
+                [int(row_of[table_id]) for table_id in consumed]
+            )
+            if new_id >= len(row_of):
+                self._row_of = row_of = _np.concatenate(
+                    [row_of, _np.full(new_id + 1, -1, dtype=_np.intp)]
+                )
+            row_of[new_id] = row
+
+    def describe(self) -> str:
+        return f"hll(p={self.precision}, seed={self.seed})"
+
+
+#: Registry of estimator names (plus aliases) to factories.
+_ESTIMATORS: dict[str, type[CardinalityEstimator]] = {
+    "exact": ExactEstimator,
+    "hll": HllEstimator,
+}
+_ESTIMATOR_ALIASES: dict[str, str] = {
+    "reference": "exact",
+    "set": "exact",
+    "hyperloglog": "hll",
+    "sketch": "hll",
+}
+
+EstimatorSpec = Union[str, CardinalityEstimator, None]
+
+
+def available_estimators() -> tuple[str, ...]:
+    """Canonical names of all registered estimators."""
+    return tuple(sorted(_ESTIMATORS))
+
+
+def canonical_estimator_name(name: str) -> str:
+    """Resolve an alias like ``"hyperloglog"`` to its canonical name."""
+    lowered = name.lower()
+    if lowered in _ESTIMATORS:
+        return lowered
+    if lowered in _ESTIMATOR_ALIASES:
+        return _ESTIMATOR_ALIASES[lowered]
+    raise EstimatorError(
+        f"unknown estimator {name!r}; available: {sorted(_ESTIMATORS)} "
+        f"(aliases: {sorted(_ESTIMATOR_ALIASES)})"
+    )
+
+
+def resolve_policy_estimator(
+    spec: EstimatorSpec,
+    hll_precision: int = 12,
+    hll_seed: int = 0,
+    force_pure: bool = False,
+) -> tuple[CardinalityEstimator, int, int]:
+    """Build a policy's estimator; ``(estimator, precision, seed)``.
+
+    Shared by the output-sensitive policies' constructors: wraps spec
+    errors into :class:`~repro.errors.PolicyError` and reflects a
+    pre-built HLL instance's parameters back so the policy's
+    ``hll_precision``/``hll_seed`` attributes always describe the
+    estimator actually in use.
+    """
+    from ..errors import PolicyError
+
+    try:
+        estimator = make_estimator(
+            spec,
+            hll_precision=hll_precision,
+            hll_seed=hll_seed,
+            force_pure=force_pure,
+        )
+    except EstimatorError as exc:
+        raise PolicyError(str(exc)) from None
+    if isinstance(estimator, HllEstimator):
+        hll_precision = estimator.precision
+        hll_seed = estimator.seed
+    return estimator, hll_precision, hll_seed
+
+
+def make_estimator(
+    spec: EstimatorSpec = None,
+    hll_precision: int = 12,
+    hll_seed: int = 0,
+    force_pure: bool = False,
+) -> CardinalityEstimator:
+    """Build a fresh estimator from a name, alias, instance or ``None``.
+
+    ``None`` means the reference (``exact``) estimator.  Passing an
+    existing :class:`CardinalityEstimator` returns it unchanged, which
+    lets the lsm layer inject an estimator pre-seeded with persistent
+    sstable sketches; the hll-specific keyword arguments only apply when
+    a fresh ``hll`` estimator is being constructed.
+    """
+    if spec is None:
+        return ExactEstimator()
+    if isinstance(spec, CardinalityEstimator):
+        return spec
+    if isinstance(spec, str):
+        name = canonical_estimator_name(spec)
+        if name == "hll":
+            return HllEstimator(
+                precision=hll_precision, seed=hll_seed, force_pure=force_pure
+            )
+        return _ESTIMATORS[name]()
+    raise EstimatorError(
+        "estimator spec must be a name, CardinalityEstimator or None, "
+        f"got {type(spec).__name__}"
+    )

@@ -106,6 +106,31 @@ class MergeInstance:
         return encoder, tuple(encoder.encode(keys) for keys in self.sets)
 
     @cached_property
+    def _hll_sketch_cache(self) -> dict:
+        return {}
+
+    def hll_sketches(self, precision: int = 12, seed: int = 0) -> tuple:
+        """One HyperLogLog sketch per input set, cached per (precision, seed).
+
+        The estimation analogue of :attr:`bitset_encoding`: every
+        HLL-estimator run over the same instance (repeated policies,
+        precision ablations, differential harnesses) shares one hashing
+        pass per parameterization.  Sketches are deterministic, so
+        sharing never changes an estimate; treat them as immutable.
+        """
+        key = (precision, seed)
+        sketches = self._hll_sketch_cache.get(key)
+        if sketches is None:
+            from ..hll import HyperLogLog
+
+            sketches = tuple(
+                HyperLogLog.of(keys, precision=precision, seed=seed)
+                for keys in self.sets
+            )
+            self._hll_sketch_cache[key] = sketches
+        return sketches
+
+    @cached_property
     def is_disjoint(self) -> bool:
         """True iff the input sets are pairwise disjoint (the Huffman case)."""
         return self.total_input_size == self.ground_size

@@ -31,7 +31,7 @@ from itertools import combinations
 from typing import Optional
 
 from ...errors import PolicyError
-from ...hll import HyperLogLog
+from ..estimator import EstimatorSpec, resolve_policy_estimator
 from .base import ChoosePolicy, GreedyState, pick_smallest, register_policy
 
 _SUBORDERS = ("arrival", "input", "output")
@@ -46,20 +46,24 @@ class BalanceTreePolicy(ChoosePolicy):
     def __init__(
         self,
         suborder: str = "input",
-        estimator: str = "hll",
+        estimator: EstimatorSpec = "hll",
         hll_precision: int = 12,
         hll_seed: int = 0,
+        force_pure: bool = False,
     ) -> None:
         if suborder not in _SUBORDERS:
             raise PolicyError(f"suborder must be one of {_SUBORDERS}, got {suborder!r}")
-        if estimator not in ("exact", "hll"):
-            raise PolicyError(f"estimator must be 'exact' or 'hll', got {estimator!r}")
+        self._estimator, self.hll_precision, self.hll_seed = (
+            resolve_policy_estimator(
+                estimator,
+                hll_precision=hll_precision,
+                hll_seed=hll_seed,
+                force_pure=force_pure,
+            )
+        )
         self.suborder = suborder
-        self.estimator = estimator
-        self.hll_precision = hll_precision
-        self.hll_seed = hll_seed
+        self.estimator = self._estimator.name
         self._levels: dict[int, int] = {}
-        self._sketches: dict[int, HyperLogLog] = {}
         self._cache: dict[tuple[int, ...], float] = {}
         self._cache_level: Optional[int] = None
         self._cache_arity: Optional[int] = None
@@ -72,26 +76,8 @@ class BalanceTreePolicy(ChoosePolicy):
         self._step_levels = []
         self._cache = {}
         self._cache_level = None
-        if self.suborder == "output" and self.estimator == "hll":
-            self._sketches = {
-                table_id: HyperLogLog.of(
-                    state.keys(table_id),
-                    precision=self.hll_precision,
-                    seed=self.hll_seed,
-                )
-                for table_id in state.live
-            }
-
-    def _estimate_union(self, state: GreedyState, combo: tuple[int, ...]) -> float:
-        if self.estimator == "hll":
-            first, *rest = combo
-            return self._sketches[first].union_cardinality(
-                *(self._sketches[table_id] for table_id in rest)
-            )
-        live = state.live
-        return float(
-            state.backend.union_size(live[table_id] for table_id in combo)
-        )
+        if self.suborder == "output":
+            self._estimator.prepare(state)
 
     def _level_candidates(self, state: GreedyState) -> tuple[int, list[int]]:
         """Find ``minL`` and its tables, promoting lone stragglers (§4.3.1)."""
@@ -121,10 +107,10 @@ class BalanceTreePolicy(ChoosePolicy):
         ):
             self._cache_level = min_level
             self._cache_arity = arity
-            self._cache = {
-                combo: self._estimate_union(state, combo)
-                for combo in combinations(candidates, arity)
-            }
+            combos = list(combinations(candidates, arity))
+            self._cache = dict(
+                zip(combos, self._estimator.union_cardinalities(state, combos))
+            )
         return min(self._cache, key=lambda combo: (self._cache[combo], combo))
 
     def observe_merge(
@@ -141,13 +127,7 @@ class BalanceTreePolicy(ChoosePolicy):
                 for combo, value in self._cache.items()
                 if dead.isdisjoint(combo)
             }
-            if self.estimator == "hll":
-                merged = self._sketches[consumed[0]].union(
-                    *(self._sketches[table_id] for table_id in consumed[1:])
-                )
-                for table_id in consumed:
-                    del self._sketches[table_id]
-                self._sketches[new_id] = merged
+            self._estimator.observe_merge(state, consumed, new_id)
 
     def extras(self) -> dict:
         return {"step_levels": tuple(self._step_levels), "suborder": self.suborder}
@@ -170,11 +150,16 @@ class BalanceTreeOutputPolicy(BalanceTreePolicy):
     name = "balance_tree_output"
 
     def __init__(
-        self, estimator: str = "hll", hll_precision: int = 12, hll_seed: int = 0
+        self,
+        estimator: EstimatorSpec = "hll",
+        hll_precision: int = 12,
+        hll_seed: int = 0,
+        force_pure: bool = False,
     ) -> None:
         super().__init__(
             suborder="output",
             estimator=estimator,
             hll_precision=hll_precision,
             hll_seed=hll_seed,
+            force_pure=force_pure,
         )

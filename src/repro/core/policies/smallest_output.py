@@ -1,16 +1,22 @@
 """SMALLESTOUTPUT (SO) heuristic — paper §4.3.3 and §5.1.
 
 Each iteration merges the combination of ``k`` live tables whose *union*
-has the smallest cardinality.  Two estimators are provided:
+has the smallest cardinality.  The union-size oracle is a pluggable
+:class:`~repro.core.estimator.CardinalityEstimator`:
 
-* ``estimator="exact"`` — materialize candidate unions (reference
-  implementation; O(n^k) set work, fine for tests and small n).
+* ``estimator="exact"`` — count materialized unions through the active
+  set backend (reference implementation; O(n^k) set work, fine for
+  tests and small n).
 * ``estimator="hll"`` — the paper's practical scheme: per-table
   HyperLogLog sketches, union estimated by register-wise max.  The
   combination cache is maintained incrementally exactly as described in
   §5.1: after a merge consuming ``k`` tables, estimates not involving
   them are reused and only the ``C(n - k, k - 1)`` combinations that
   contain the new table are estimated.
+
+A pre-built estimator instance is also accepted — the lsm layer passes
+an :class:`~repro.core.estimator.HllEstimator` seeded with persistent
+sstable sketches so compaction runs never re-hash a key.
 
 Ties break on (cardinality, combination ids), i.e. by creation order,
 which reproduces the worked example (cost 40 on the 5-set instance).
@@ -22,8 +28,7 @@ import heapq
 from itertools import combinations
 from typing import Optional
 
-from ...errors import PolicyError
-from ...hll import HyperLogLog
+from ..estimator import EstimatorSpec, resolve_policy_estimator
 from .base import ChoosePolicy, GreedyState, register_policy
 
 _EstimateKey = tuple[int, ...]
@@ -37,69 +42,71 @@ class SmallestOutputPolicy(ChoosePolicy):
 
     def __init__(
         self,
-        estimator: str = "exact",
+        estimator: EstimatorSpec = "exact",
         hll_precision: int = 12,
         hll_seed: int = 0,
+        force_pure: bool = False,
     ) -> None:
-        if estimator not in ("exact", "hll"):
-            raise PolicyError(
-                f"estimator must be 'exact' or 'hll', got {estimator!r}"
+        self._estimator, self.hll_precision, self.hll_seed = (
+            resolve_policy_estimator(
+                estimator,
+                hll_precision=hll_precision,
+                hll_seed=hll_seed,
+                force_pure=force_pure,
             )
-        self.estimator = estimator
-        self.hll_precision = hll_precision
-        self.hll_seed = hll_seed
+        )
+        self.estimator = self._estimator.name
         self._estimates: dict[_EstimateKey, float] = {}
-        # table id -> combinations it participates in, so a consumed
+        # table id -> combinations it was ever cached in, so a consumed
         # table retires its cache entries in O(degree) instead of a
-        # full-cache rebuild per merge.
-        self._combos_of: dict[int, set[_EstimateKey]] = {}
+        # full-cache rebuild per merge.  Lists may hold already-retired
+        # combos (a combo dies with its *first* consumed member); the
+        # estimates dict is the source of truth and retirement tolerates
+        # stale entries, which keeps the hot append path branch-free.
+        self._combos_of: dict[int, list[_EstimateKey]] = {}
         # lazy-deletion heap over (estimate, combo); an estimate never
         # changes once cached (ids never revive), so stale entries are
         # exactly the retired combos and are skipped on peek.
         self._heap: list[tuple[float, _EstimateKey]] = []
-        self._sketches: dict[int, HyperLogLog] = {}
         self._arity: Optional[int] = None
         self.estimate_calls = 0  # exposed for overhead accounting/tests
 
     # ------------------------------------------------------------------
-    def _estimate(self, state: GreedyState, combo: _EstimateKey) -> float:
-        self.estimate_calls += 1
-        if self.estimator == "hll":
-            first, *rest = combo
-            return self._sketches[first].union_cardinality(
-                *(self._sketches[table_id] for table_id in rest)
-            )
-        live = state.live
-        return float(
-            state.backend.union_size(live[table_id] for table_id in combo)
-        )
-
-    def _add_estimate(self, state: GreedyState, combo: _EstimateKey) -> None:
-        estimate = self._estimate(state, combo)
-        self._estimates[combo] = estimate
-        for table_id in combo:
-            self._combos_of.setdefault(table_id, set()).add(combo)
-        heapq.heappush(self._heap, (estimate, combo))
+    def _add_estimates(
+        self, state: GreedyState, combos: list[_EstimateKey]
+    ) -> None:
+        """Estimate and cache a batch of combos (one vectorized call)."""
+        if not combos:
+            return
+        self.estimate_calls += len(combos)
+        values = self._estimator.union_cardinalities(state, combos)
+        self._estimates.update(zip(combos, values))
+        combos_of = self._combos_of
+        for combo in combos:
+            for table_id in combo:
+                member = combos_of.get(table_id)
+                if member is None:
+                    combos_of[table_id] = [combo]
+                else:
+                    member.append(combo)
+        heap = self._heap
+        if heap:
+            for entry in zip(values, combos):
+                heapq.heappush(heap, entry)
+        else:
+            heap.extend(zip(values, combos))
+            heapq.heapify(heap)
 
     def _fill_cache(self, state: GreedyState, arity: int) -> None:
         self._arity = arity
         self._estimates = {}
         self._combos_of = {}
         self._heap = []
-        for combo in combinations(sorted(state.live), arity):
-            self._add_estimate(state, combo)
+        self._add_estimates(state, list(combinations(sorted(state.live), arity)))
 
     # ------------------------------------------------------------------
     def prepare(self, state: GreedyState) -> None:
-        if self.estimator == "hll":
-            self._sketches = {
-                table_id: HyperLogLog.of(
-                    state.keys(table_id),
-                    precision=self.hll_precision,
-                    seed=self.hll_seed,
-                )
-                for table_id in state.live
-            }
+        self._estimator.prepare(state)
         self._fill_cache(state, state.arity_for_next_merge())
 
     def choose(self, state: GreedyState) -> tuple[int, ...]:
@@ -125,31 +132,24 @@ class SmallestOutputPolicy(ChoosePolicy):
         estimates = self._estimates
         combos_of = self._combos_of
         for dead in consumed:
+            # Surviving members keep stale references to these combos in
+            # their lists; retirement is idempotent via the pop default.
             for combo in combos_of.pop(dead, ()):
-                if estimates.pop(combo, None) is None:
-                    continue
-                for member in combo:
-                    if member == dead:
-                        continue
-                    member_combos = combos_of.get(member)
-                    if member_combos is not None:
-                        member_combos.discard(combo)
-        if self.estimator == "hll":
-            # Register-wise max is lossless for unions, so the new
-            # table's sketch is exact relative to its inputs' sketches.
-            merged = self._sketches[consumed[0]].union(
-                *(self._sketches[table_id] for table_id in consumed[1:])
-            )
-            for table_id in consumed:
-                del self._sketches[table_id]
-            self._sketches[new_id] = merged
+                estimates.pop(combo, None)
+        self._estimator.observe_merge(state, consumed, new_id)
         arity = self._arity or 2
         others = [table_id for table_id in state.live if table_id != new_id]
         if len(others) + 1 < arity:
             return
-        for subset in combinations(sorted(others), arity - 1):
-            combo = tuple(sorted((*subset, new_id)))
-            self._add_estimate(state, combo)
+        # new_id is the freshest table, so it sorts after every other id
+        # and the combos are already in canonical sorted order.
+        self._add_estimates(
+            state,
+            [
+                (*subset, new_id)
+                for subset in combinations(sorted(others), arity - 1)
+            ],
+        )
 
     def extras(self) -> dict:
         return {"estimate_calls": self.estimate_calls, "estimator": self.estimator}
@@ -161,7 +161,16 @@ class SmallestOutputHllPolicy(SmallestOutputPolicy):
 
     name = "smallest_output_hll"
 
-    def __init__(self, hll_precision: int = 12, hll_seed: int = 0) -> None:
+    def __init__(
+        self,
+        hll_precision: int = 12,
+        hll_seed: int = 0,
+        estimator: EstimatorSpec = "hll",
+        force_pure: bool = False,
+    ) -> None:
         super().__init__(
-            estimator="hll", hll_precision=hll_precision, hll_seed=hll_seed
+            estimator=estimator,
+            hll_precision=hll_precision,
+            hll_seed=hll_seed,
+            force_pure=force_pure,
         )

@@ -31,6 +31,10 @@ class BackendError(ReproError):
     """A set backend is unknown or was driven outside its contract."""
 
 
+class EstimatorError(ReproError):
+    """A cardinality estimator is unknown or was driven outside its contract."""
+
+
 class ConfigError(ReproError):
     """A configuration object holds inconsistent or out-of-range values."""
 

@@ -17,7 +17,12 @@ All results are uniform over ``[0, 2**64)``.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Optional, Sequence
+
+try:  # optional acceleration; hash_keys_u64 degrades to None without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
 
 MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -78,3 +83,41 @@ def hash_key(key: Hashable, seed: int = 0) -> int:
     else:
         base = fnv1a64(repr(key).encode("utf-8"))
     return splitmix64(base ^ splitmix64(seed))
+
+
+def _splitmix64_u64(x: "_np.ndarray") -> "_np.ndarray":
+    """Vectorized :func:`splitmix64` over a ``uint64`` array.
+
+    Bit-for-bit identical to the scalar version: uint64 arithmetic wraps
+    modulo ``2**64`` exactly like the explicit ``& MASK64`` masking.
+    """
+    x = x + _np.uint64(_GOLDEN)
+    x = (x ^ (x >> _np.uint64(30))) * _np.uint64(_MIX1)
+    x = (x ^ (x >> _np.uint64(27))) * _np.uint64(_MIX2)
+    return x ^ (x >> _np.uint64(31))
+
+
+def hash_keys_u64(keys: Sequence[Hashable], seed: int = 0) -> Optional["_np.ndarray"]:
+    """Batch :func:`hash_key` for a sequence of plain ``int`` keys.
+
+    Returns a ``uint64`` numpy array with ``hash_keys_u64(keys)[i] ==
+    hash_key(keys[i], seed)`` for every position, or ``None`` when the
+    batch path does not apply (numpy missing, or any key is not a plain
+    int — ``bool`` keys are type-salted by :func:`hash_key` and must take
+    the scalar path).  Callers fall back to the per-key loop on ``None``.
+    """
+    if _np is None or not isinstance(keys, (list, tuple)):
+        return None
+    # set(map(type, ...)) runs at C speed; a strict-subset check keeps
+    # bool (an int subclass with a different type salt) off this path.
+    if not set(map(type, keys)) <= {int}:
+        return None
+    try:
+        base = _np.array(keys, dtype=_np.uint64)
+    except (OverflowError, ValueError, TypeError):
+        # Negative or >= 2**64 keys: fold into 64 bits like the scalar path.
+        base = _np.fromiter(
+            (key & MASK64 for key in keys), dtype=_np.uint64, count=len(keys)
+        )
+    with _np.errstate(over="ignore"):
+        return _splitmix64_u64(base ^ _np.uint64(splitmix64(seed)))

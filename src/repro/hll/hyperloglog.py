@@ -13,7 +13,14 @@ implementation:
   registers),
 * *lossless* unions — the register-wise max of two sketches equals the
   sketch of the union of their streams, the property the incremental
-  pair cache in the SO policy relies on.
+  pair cache in the SO policy relies on,
+* batch ingestion: with numpy present, :meth:`add_all` hashes plain-int
+  key batches as one ``uint64`` vector and scatter-maxes the registers
+  in one call, producing registers byte-identical to the per-key path.
+
+Estimates are backing-independent: the harmonic-sum kernel accumulates
+exactly (see :mod:`repro.hll.registers`), so numpy and pure-Python
+sketches over the same keys report identical floats.
 
 Typical relative error is ``1.04 / sqrt(m)`` (about 1.6 % at the default
 precision ``p = 12``).
@@ -24,8 +31,13 @@ from __future__ import annotations
 import math
 from typing import Hashable, Iterable
 
-from .hashing import hash_key
+from .hashing import hash_key, hash_keys_u64
 from .registers import RegisterArray
+
+try:  # optional acceleration for batch ingestion
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
 
 MIN_PRECISION = 4
 MAX_PRECISION = 18
@@ -42,6 +54,18 @@ def _alpha(m: int) -> float:
     return 0.7213 / (1.0 + 1.079 / m)
 
 
+def _bit_length_u64(x: "_np.ndarray") -> "_np.ndarray":
+    """Exact vectorized ``int.bit_length`` for a ``uint64`` array.
+
+    Splits into 32-bit halves so every value converts to float64
+    exactly; ``frexp``'s exponent of an exact positive integer is its
+    bit length (and 0 for 0.0), with no rounding edge cases.
+    """
+    high = (x >> _np.uint64(32)).astype(_np.float64)
+    low = (x & _np.uint64(0xFFFFFFFF)).astype(_np.float64)
+    return _np.where(high > 0.0, _np.frexp(high)[1] + 32, _np.frexp(low)[1])
+
+
 class HyperLogLog:
     """A HyperLogLog sketch.
 
@@ -52,11 +76,16 @@ class HyperLogLog:
     seed:
         Hash seed.  Sketches can only be merged when their precision and
         seed match (they must route keys identically).
+    force_pure:
+        Use the pure-Python ``bytearray`` register backing even when
+        numpy is available (differential testing and ablations).
     """
 
-    __slots__ = ("precision", "m", "seed", "_registers", "_suffix_bits")
+    __slots__ = ("precision", "m", "seed", "_registers", "_suffix_bits", "_alpha_mm")
 
-    def __init__(self, precision: int = 12, seed: int = 0) -> None:
+    def __init__(
+        self, precision: int = 12, seed: int = 0, force_pure: bool = False
+    ) -> None:
         if not MIN_PRECISION <= precision <= MAX_PRECISION:
             raise ValueError(
                 f"precision must be in [{MIN_PRECISION}, {MAX_PRECISION}], "
@@ -66,7 +95,8 @@ class HyperLogLog:
         self.m = 1 << precision
         self.seed = seed
         self._suffix_bits = 64 - precision
-        self._registers = RegisterArray(self.m)
+        self._alpha_mm = _alpha(self.m) * self.m * self.m
+        self._registers = RegisterArray(self.m, force_pure=force_pure)
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -85,7 +115,21 @@ class HyperLogLog:
         self._registers.update(index, rank)
 
     def add_all(self, keys: Iterable[Hashable]) -> None:
-        """Add every key in ``keys``."""
+        """Add every key in ``keys``.
+
+        Plain-int batches take the vectorized path when numpy backs the
+        registers; anything else falls back to the per-key loop (which
+        consumes iterables lazily — only the vectorized candidate path
+        materializes them).  Both paths produce byte-identical registers.
+        """
+        if self._registers.is_vectorized:
+            if not isinstance(keys, (list, tuple)):
+                keys = list(keys)
+            if keys:
+                hashed = hash_keys_u64(keys, self.seed)
+                if hashed is not None:
+                    self._add_hash_array(hashed)
+                    return
         seed = self.seed
         suffix_bits = self._suffix_bits
         suffix_mask = (1 << suffix_bits) - 1
@@ -96,28 +140,45 @@ class HyperLogLog:
             suffix = hashed & suffix_mask
             registers.update(index, suffix_bits - suffix.bit_length() + 1)
 
+    def _add_hash_array(self, hashed: "_np.ndarray") -> None:
+        """Scatter a batch of pre-hashed ``uint64`` values into registers."""
+        suffix_bits = self._suffix_bits
+        indices = (hashed >> _np.uint64(suffix_bits)).astype(_np.intp)
+        suffixes = hashed & _np.uint64((1 << suffix_bits) - 1)
+        ranks = (suffix_bits + 1 - _bit_length_u64(suffixes)).astype(_np.uint8)
+        self._registers.update_many(indices, ranks)
+
     @classmethod
-    def of(cls, keys: Iterable[Hashable], precision: int = 12, seed: int = 0) -> "HyperLogLog":
+    def of(
+        cls,
+        keys: Iterable[Hashable],
+        precision: int = 12,
+        seed: int = 0,
+        force_pure: bool = False,
+    ) -> "HyperLogLog":
         """Build a sketch over ``keys`` in one call."""
-        sketch = cls(precision=precision, seed=seed)
+        sketch = cls(precision=precision, seed=seed, force_pure=force_pure)
         sketch.add_all(keys)
         return sketch
 
     # ------------------------------------------------------------------
     # Estimation
     # ------------------------------------------------------------------
-    def cardinality(self) -> float:
-        """Estimate the number of distinct keys added so far."""
+    def _estimate_from_stats(self, harmonic_sum: float, zeros: int) -> float:
+        """The raw-estimate + linear-counting decision, shared by every
+        estimate path (single sketch, lossless union, fused candidates)."""
         m = self.m
-        raw = _alpha(m) * m * m / self._registers.harmonic_sum()
-        if raw <= 2.5 * m:
-            zeros = self._registers.zeros()
-            if zeros:
-                # Linear counting is more accurate in the sparse regime.
-                return m * math.log(m / zeros)
+        raw = self._alpha_mm / harmonic_sum
+        if raw <= 2.5 * m and zeros:
+            # Linear counting is more accurate in the sparse regime.
+            return m * math.log(m / zeros)
         # 64-bit hashes make collisions astronomically unlikely below
         # 2**60 distinct keys, so no large-range correction is needed.
         return raw
+
+    def cardinality(self) -> float:
+        """Estimate the number of distinct keys added so far."""
+        return self._estimate_from_stats(*self._registers.stats())
 
     def __len__(self) -> int:
         """Rounded cardinality estimate."""
@@ -160,21 +221,24 @@ class HyperLogLog:
         clone.m = self.m
         clone.seed = self.seed
         clone._suffix_bits = self._suffix_bits
+        clone._alpha_mm = self._alpha_mm
         clone._registers = self._registers.copy()
         return clone
 
-    def union_cardinality(self, *others: "HyperLogLog") -> float:
-        """Estimate ``|A u B u ...|`` without mutating any sketch."""
-        merged = RegisterArray.merged(
-            [self._registers, *(other._registers for other in others)]
+    def union_cardinality(self, *others: "HyperLogLog", scratch=None) -> float:
+        """Estimate ``|A u B u ...|`` without mutating any sketch.
+
+        Fused kernel: the element-wise register max feeds the harmonic
+        reduction directly, with no merged register array allocated
+        (``scratch`` optionally recycles the max buffer across calls).
+        """
+        for other in others:
+            self._check_compatible(other)
+        harmonic_sum, zeros = RegisterArray.union_stats(
+            [self._registers, *(other._registers for other in others)],
+            scratch=scratch,
         )
-        m = self.m
-        raw = _alpha(m) * m * m / merged.harmonic_sum()
-        if raw <= 2.5 * m:
-            zeros = merged.zeros()
-            if zeros:
-                return m * math.log(m / zeros)
-        return raw
+        return self._estimate_from_stats(harmonic_sum, zeros)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"HyperLogLog(p={self.precision}, estimate={self.cardinality():.1f})"

@@ -6,22 +6,82 @@ routed to it.  This module hides the storage: a numpy ``uint8`` array
 when numpy is importable (the SMALLESTOUTPUT policy evaluates thousands
 of sketch unions per compaction, where vectorized max/sum matters), with
 a dependency-free ``bytearray`` fallback providing identical semantics.
+
+Estimation kernels are *exact* and therefore backing-independent: the
+harmonic sum ``sum(2**-M[j])`` is accumulated as a dyadic integer
+(every term is ``2**(SHIFT - rank)`` for a fixed ``SHIFT`` above the
+maximum possible rank) and converted to float once, so the numpy and
+pure-Python paths return bit-identical values regardless of summation
+order.  :meth:`RegisterArray.union_stats` fuses the element-wise max of
+several arrays with that reduction, estimating a union without
+materializing a merged register array.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 try:  # optional acceleration; the pure-Python path is fully equivalent
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised on numpy-less installs
     _np = None
 
-# 2**-r for every possible register value; rank never exceeds 65 for
-# 64-bit hashes (p >= 4 leaves at most 60 suffix bits).
-_POW2_NEG = [2.0 ** -r for r in range(70)]
+#: Ranks never exceed 61 for 64-bit hashes (p >= 4 leaves at most 60
+#: suffix bits); any fixed shift above that makes every register term
+#: ``2**(_SHIFT - rank)`` an exact integer.
+_MAX_RANK = 70
+_SHIFT = _MAX_RANK
+_SHIFT_ONE = 1 << _SHIFT
+
 if _np is not None:
-    _POW2_NEG_NP = _np.array(_POW2_NEG, dtype=_np.float64)
+    # Term LUTs for the batched union kernel: register value r maps to
+    # the integer "term" 2**(shift - r).  Terms are monotone
+    # *decreasing* in r, so the register-wise max of sketches is the
+    # element-wise *min* of their term vectors, and the exact harmonic
+    # sum is one int64 reduction (m <= 2**18 terms each <= 2**shift).
+    # Two domains: a narrow uint16 encoding (shift 15) that halves the
+    # kernel's memory traffic when every rank fits, and a wide int32
+    # encoding (shift 30) otherwise; ranks above 30 (impossible below
+    # ~10**9 distinct keys) fall back to the histogram kernel.  All
+    # paths compute the same exact rational, so they agree bit-for-bit.
+    _TERM_SHIFT_NARROW = 15
+    _TERM_SHIFT_WIDE = 30
+    _TERM_LUTS = {
+        _TERM_SHIFT_NARROW: _np.array(
+            [1 << (_TERM_SHIFT_NARROW - r) for r in range(_TERM_SHIFT_NARROW + 1)],
+            dtype=_np.uint16,
+        ),
+        _TERM_SHIFT_WIDE: _np.array(
+            [1 << (_TERM_SHIFT_WIDE - r) for r in range(_TERM_SHIFT_WIDE + 1)],
+            dtype=_np.int32,
+        ),
+    }
+
+
+if _np is not None:
+    if hasattr(_np, "bitwise_count"):
+        _popcount = _np.bitwise_count
+    else:  # pragma: no cover - numpy < 2.0
+        _POPCNT_LUT = _np.array(
+            [bin(value).count("1") for value in range(256)], dtype=_np.uint8
+        )
+
+        def _popcount(bits):
+            return _POPCNT_LUT[bits]
+
+
+def _dyadic_harmonic(counts: Sequence[int]) -> float:
+    """``sum(counts[r] * 2**-r)`` via exact integer accumulation.
+
+    The integer sum is order-independent and the final single division is
+    correctly rounded, so every backing and every fusion of this kernel
+    agrees to the last bit.
+    """
+    total = 0
+    for rank, count in enumerate(counts):
+        if count:
+            total += count << (_SHIFT - rank)
+    return total / _SHIFT_ONE
 
 
 class RegisterArray:
@@ -41,10 +101,33 @@ class RegisterArray:
         else:
             self._regs = bytearray(m)
 
+    @property
+    def is_vectorized(self) -> bool:
+        """True when the backing is a numpy array (not the bytearray)."""
+        return self._numpy
+
     def update(self, index: int, rank: int) -> None:
         """Raise register ``index`` to ``rank`` if it is currently lower."""
         if rank > self._regs[index]:
             self._regs[index] = rank
+
+    def update_many(self, indices, ranks) -> None:
+        """Scatter-max a batch of (index, rank) updates.
+
+        Accepts numpy arrays (fast path: one ``maximum.at`` call handles
+        duplicate indices correctly) or any parallel int sequences.
+        """
+        if (
+            self._numpy
+            and isinstance(indices, _np.ndarray)
+            and isinstance(ranks, _np.ndarray)
+        ):
+            _np.maximum.at(self._regs, indices, ranks)
+            return
+        regs = self._regs
+        for index, rank in zip(indices, ranks):
+            if rank > regs[index]:
+                regs[index] = rank
 
     def get(self, index: int) -> int:
         return int(self._regs[index])
@@ -55,12 +138,23 @@ class RegisterArray:
             return int(self.m - _np.count_nonzero(self._regs))
         return sum(1 for value in self._regs if value == 0)
 
+    def counts(self) -> list[int]:
+        """Histogram of register values (index = rank, value = count)."""
+        if self._numpy:
+            return _np.bincount(self._regs, minlength=_MAX_RANK).tolist()
+        counts = [0] * _MAX_RANK
+        for value in self._regs:
+            counts[value] += 1
+        return counts
+
     def harmonic_sum(self) -> float:
         """``sum(2**-M[j])`` over all registers (the raw-estimate kernel)."""
-        if self._numpy:
-            return float(_POW2_NEG_NP[self._regs].sum())
-        pow2 = _POW2_NEG
-        return sum(pow2[value] for value in self._regs)
+        return self.stats()[0]
+
+    def stats(self) -> tuple[float, int]:
+        """``(harmonic_sum, zeros)`` from one histogram pass."""
+        counts = self.counts()
+        return _dyadic_harmonic(counts), counts[0]
 
     def copy(self) -> "RegisterArray":
         if self._numpy:
@@ -94,9 +188,118 @@ class RegisterArray:
             out.merge_max(other)
         return out
 
+    @classmethod
+    def union_stats(
+        cls, arrays: Sequence["RegisterArray"], scratch=None
+    ) -> tuple[float, int]:
+        """``(harmonic_sum, zeros)`` of the element-wise max of ``arrays``.
+
+        The fused union-estimate kernel: no merged :class:`RegisterArray`
+        is allocated.  ``scratch`` may be a reusable ``uint8`` numpy
+        buffer of the right size (callers estimating thousands of
+        candidate unions pass one to avoid per-call allocation).
+        """
+        arrays = list(arrays)
+        if not arrays:
+            raise ValueError("cannot estimate the union of zero arrays")
+        m = arrays[0].m
+        if any(other.m != m for other in arrays[1:]):
+            raise ValueError("cannot merge register arrays of different sizes")
+        if len(arrays) == 1:
+            return arrays[0].stats()
+        if all(array._numpy for array in arrays):
+            if scratch is None or len(scratch) != m:
+                scratch = _np.empty(m, dtype=_np.uint8)
+            _np.maximum(arrays[0]._regs, arrays[1]._regs, out=scratch)
+            for other in arrays[2:]:
+                _np.maximum(scratch, other._regs, out=scratch)
+            counts = _np.bincount(scratch, minlength=_MAX_RANK).tolist()
+            return _dyadic_harmonic(counts), counts[0]
+        backings = [array._regs for array in arrays]
+        total = 0
+        zeros = 0
+        for index in range(m):
+            # int() guards against numpy scalars when backings are mixed;
+            # the big-int accumulator must stay a Python int.
+            value = int(max(backing[index] for backing in backings))
+            if value:
+                total += 1 << (_SHIFT - value)
+            else:
+                zeros += 1
+        total += zeros << _SHIFT
+        return total / _SHIFT_ONE, zeros
+
+    @classmethod
+    def union_stats_many(
+        cls,
+        arrays: Sequence["RegisterArray"],
+        combos: Sequence[tuple[int, ...]],
+        chunk_rows: int = 256,
+    ) -> list[tuple[float, int]]:
+        """``(harmonic_sum, zeros)`` for many same-arity combinations.
+
+        ``combos`` index into ``arrays``; each result equals
+        :meth:`union_stats` over that combination.  On the numpy path
+        the arrays' term vectors are stacked into a :class:`TermMatrix`
+        and whole chunks of combinations reduce in single vectorized
+        min/sum calls — this is what keeps SMALLESTOUTPUT's
+        candidate-cache fills out of per-estimate Python overhead.
+        Results are bit-identical to the one-at-a-time kernel (the
+        reductions are exact integer sums).
+        """
+        arrays = list(arrays)
+        if not combos:
+            return []
+        arity = len(combos[0])
+        if any(len(combo) != arity for combo in combos):
+            raise ValueError("union_stats_many requires same-arity combos")
+        if arity == 0:
+            raise ValueError("cannot estimate the union of zero arrays")
+        matrix = None
+        if _np is not None and all(array._numpy for array in arrays):
+            m = arrays[0].m
+            if any(array.m != m for array in arrays):
+                raise ValueError(
+                    "cannot merge register arrays of different sizes"
+                )
+            max_rank = max(array.max_rank() for array in arrays)
+            matrix = cls.term_matrix(m, max_rank, capacity=len(arrays))
+            if matrix is not None:
+                for array in arrays:
+                    matrix.append(array)
+        if matrix is None:
+            # A rank beyond the term domain (astronomical key counts)
+            # or a pure backing: exact one-at-a-time histogram kernel.
+            return [
+                cls.union_stats([arrays[index] for index in combo])
+                for combo in combos
+            ]
+        return matrix.union_stats(
+            _np.asarray(combos, dtype=_np.intp), chunk_rows=chunk_rows
+        )
+
     def values(self) -> list[int]:
         """Register contents as a plain list (testing/introspection)."""
         return [int(value) for value in self._regs]
+
+    def max_rank(self) -> int:
+        """The largest register value (0 for an empty sketch)."""
+        if self._numpy:
+            return int(self._regs.max(initial=0))
+        return max(self._regs, default=0)
+
+    @classmethod
+    def term_matrix(
+        cls, m: int, max_rank: int, capacity: int = 16
+    ) -> Optional["TermMatrix"]:
+        """A fresh :class:`TermMatrix` sized for sketches whose ranks
+        stay within ``max_rank``, or None when out of every domain."""
+        if _np is None:
+            return None
+        for shift in (_TERM_SHIFT_NARROW, _TERM_SHIFT_WIDE):
+            if max_rank <= shift:
+                return TermMatrix(m, term_shift=shift, capacity=capacity)
+        return None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RegisterArray):
@@ -105,3 +308,173 @@ class RegisterArray:
 
     def __hash__(self) -> None:  # type: ignore[override]
         raise TypeError("RegisterArray is mutable and unhashable")
+
+
+class TermMatrix:
+    """Append-only stack of term vectors for batched union estimates.
+
+    One row per sketch; because terms are monotone decreasing in the
+    register value, the union of sketches is the element-wise *min* of
+    their rows, and the merged table produced by a compaction step is
+    appended as exactly that min (:meth:`append_min`) — no re-encoding.
+    :class:`~repro.core.estimator.HllEstimator` keeps one of these alive
+    for a whole greedy run so candidate estimates never restack rows.
+
+    ``term_shift`` fixes the encoding domain: every appended sketch must
+    have ranks <= term_shift (:meth:`RegisterArray.term_matrix` picks
+    the narrowest domain up front), and :meth:`append_min` can never
+    leave it — mins never decrease a rank.
+
+    Rows assume the register arrays they were built from are not mutated
+    afterwards (sketch unions always produce fresh arrays, so the
+    estimator upholds this).
+    """
+
+    __slots__ = (
+        "m", "term_shift", "term_one", "_lut", "_matrix", "_zbits", "_rows"
+    )
+
+    def __init__(self, m: int, term_shift: int = 30, capacity: int = 16) -> None:
+        if term_shift not in _TERM_LUTS:
+            raise ValueError(f"term_shift must be one of {sorted(_TERM_LUTS)}")
+        self.m = m
+        self.term_shift = term_shift
+        self.term_one = 1 << term_shift
+        self._lut = _TERM_LUTS[term_shift]
+        self._rows = 0
+        self._matrix = _np.empty((max(1, capacity), m), dtype=self._lut.dtype)
+        # Zero-register indicators packed 8 per byte: the union's zeros
+        # are popcount(AND of rows) — a few hundred bytes per estimate
+        # instead of an equality pass over the whole term row.
+        self._zbits = _np.empty(
+            (max(1, capacity), (m + 7) // 8), dtype=_np.uint8
+        )
+
+    def __len__(self) -> int:
+        return self._rows
+
+    def _grow_to(self, rows: int) -> None:
+        if rows > len(self._matrix):
+            capacity = max(rows, 2 * len(self._matrix))
+            bigger = _np.empty((capacity, self.m), dtype=self._matrix.dtype)
+            bigger[: self._rows] = self._matrix[: self._rows]
+            self._matrix = bigger
+            zbigger = _np.empty(
+                (capacity, self._zbits.shape[1]), dtype=_np.uint8
+            )
+            zbigger[: self._rows] = self._zbits[: self._rows]
+            self._zbits = zbigger
+
+    def append(self, array: RegisterArray) -> int:
+        """Encode a sketch's registers as a new row; its row index."""
+        if array.m != self.m:
+            raise ValueError("register array size does not match the matrix")
+        regs = array._regs
+        if int(regs.max(initial=0)) > self.term_shift:
+            raise ValueError(
+                f"rank beyond the shift-{self.term_shift} term domain"
+            )
+        self._grow_to(self._rows + 1)
+        self._matrix[self._rows] = self._lut[regs.astype(_np.intp)]
+        self._zbits[self._rows] = _np.packbits(regs == 0)
+        self._rows += 1
+        return self._rows - 1
+
+    def append_min(self, rows: Sequence[int]) -> int:
+        """Add the element-wise min of existing rows (a lossless union)."""
+        if not rows:
+            raise ValueError("append_min needs at least one row")
+        self._grow_to(self._rows + 1)
+        matrix = self._matrix
+        zbits = self._zbits
+        out = matrix[self._rows]
+        zout = zbits[self._rows]
+        if len(rows) == 1:
+            out[:] = matrix[rows[0]]
+            zout[:] = zbits[rows[0]]
+        else:
+            _np.minimum(matrix[rows[0]], matrix[rows[1]], out=out)
+            _np.bitwise_and(zbits[rows[0]], zbits[rows[1]], out=zout)
+            for row in rows[2:]:
+                _np.minimum(out, matrix[row], out=out)
+                _np.bitwise_and(zout, zbits[row], out=zout)
+        self._rows += 1
+        return self._rows - 1
+
+    def union_stats_chunks(self, row_combos, chunk_rows: int = 256):
+        """Yield ``(totals, zeros)`` int64/int arrays per chunk of combos.
+
+        ``row_combos`` is an (n, k) integer array of row indices; a
+        combo's exact harmonic sum is ``totals[i] / term_one``.  Whole
+        chunks reduce in single vectorized min/sum calls; the int64 row
+        sums are exact, so downstream estimates are bit-identical to
+        :meth:`RegisterArray.union_stats` over the same sketches.
+
+        Pair batches that share their first row — SO's cache fills and
+        per-merge refreshes both do — reduce against that row broadcast,
+        halving the gather traffic of the general path.
+        """
+        row_combos = _np.asarray(row_combos, dtype=_np.intp)
+        if row_combos.ndim != 2:
+            raise ValueError("row_combos must be a 2-D (n, k) index array")
+        arity = row_combos.shape[1]
+        if arity == 2 and len(row_combos) > 1:
+            seconds = row_combos[:, 1]
+            if bool((seconds == seconds[0]).all()):
+                # One shared right row — SO's per-merge refresh batches
+                # pair every survivor with the newest table.
+                for start in range(0, len(row_combos), chunk_rows):
+                    yield self._pair_stats(
+                        int(seconds[0]),
+                        row_combos[start : start + chunk_rows, 0],
+                    )
+                return
+            firsts = row_combos[:, 0]
+            bounds = _np.flatnonzero(
+                _np.r_[True, firsts[1:] != firsts[:-1], True]
+            )
+            if len(row_combos) >= 8 * (len(bounds) - 1):
+                for left, right in zip(bounds[:-1], bounds[1:]):
+                    for start in range(left, right, chunk_rows):
+                        stop = min(start + chunk_rows, right)
+                        yield self._pair_stats(
+                            int(firsts[left]), row_combos[start:stop, 1]
+                        )
+                return
+        matrix = self._matrix
+        zbits = self._zbits
+        for start in range(0, len(row_combos), chunk_rows):
+            chunk = row_combos[start : start + chunk_rows]
+            merged = matrix[chunk[:, 0]]
+            zmerged = zbits[chunk[:, 0]]
+            for column in range(1, arity):
+                _np.minimum(merged, matrix[chunk[:, column]], out=merged)
+                _np.bitwise_and(zmerged, zbits[chunk[:, column]], out=zmerged)
+            yield (
+                merged.sum(axis=1, dtype=_np.int64),
+                _popcount(zmerged).sum(axis=1, dtype=_np.int64),
+            )
+
+    def _pair_stats(self, base_row: int, other_rows):
+        """``(totals, zeros)`` for ``base_row`` against each other row."""
+        merged = self._matrix[other_rows]
+        _np.minimum(merged, self._matrix[base_row], out=merged)
+        zmerged = self._zbits[other_rows]
+        _np.bitwise_and(zmerged, self._zbits[base_row], out=zmerged)
+        return (
+            merged.sum(axis=1, dtype=_np.int64),
+            _popcount(zmerged).sum(axis=1, dtype=_np.int64),
+        )
+
+    def union_stats(
+        self, row_combos, chunk_rows: int = 256
+    ) -> list[tuple[float, int]]:
+        """``(harmonic_sum, zeros)`` for each row combination."""
+        results: list[tuple[float, int]] = []
+        term_one = self.term_one
+        for totals, zeros in self.union_stats_chunks(row_combos, chunk_rows):
+            results.extend(
+                (total / term_one, z)
+                for total, z in zip(totals.tolist(), zeros.tolist())
+            )
+        return results

@@ -31,6 +31,27 @@ from ..disk import SimulatedDisk
 from ..sstable import SSTable, merge_sstables
 
 
+def _propagate_sketches(inputs: Sequence[SSTable], output: SSTable) -> None:
+    """Adopt the union of the inputs' cached sketches on the output.
+
+    Register-wise max is lossless for unions, so for every (precision,
+    seed) cached on *all* inputs the merged sketch covers the output's
+    key set exactly.  Callers must only invoke this when the output's
+    keys really are the union of the inputs' keys (no tombstone GC
+    dropped a key).
+    """
+    common = set(inputs[0].cached_sketch_keys)
+    for table in inputs[1:]:
+        common &= set(table.cached_sketch_keys)
+    for precision, seed in common:
+        first = inputs[0].cached_sketch(precision, seed)
+        output.adopt_sketch(
+            first.union(
+                *(table.cached_sketch(precision, seed) for table in inputs[1:])
+            )
+        )
+
+
 @dataclass
 class ExecutionResult:
     """Metrics of one executed schedule."""
@@ -78,14 +99,21 @@ def execute_schedule(
     for index, step in enumerate(schedule.steps):
         inputs = [live.pop(table_id) for table_id in step.inputs]
         is_final = index == final_step_index
+        dropping = drop_tombstones and is_final
         output = merge_sstables(
             inputs,
             new_table_id=next_table_id,
-            drop_tombstones=drop_tombstones and is_final,
+            drop_tombstones=dropping,
             bloom_fp_rate=bloom_fp_rate,
         )
         next_table_id += 1
         live[step.output] = output
+        # Sketch persistence: the output's key set is the union of its
+        # inputs' unless tombstone GC could drop keys at this step.
+        if output is not inputs[0] and (
+            not dropping or not any(table.has_tombstones for table in inputs)
+        ):
+            _propagate_sketches(inputs, output)
 
         # --- I/O accounting -------------------------------------------
         step_read = sum(table.size_bytes for table in inputs)

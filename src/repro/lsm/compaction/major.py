@@ -3,11 +3,17 @@
 This is the bridge between :mod:`repro.core` and the storage substrate:
 
 1. model each sstable as its key set (:class:`MergeInstance`),
-2. run the configured policy (SI / SO / BT(I) / BT(O) / LM / RANDOM)
+2. for output-sensitive policies, build a fresh per-run
+   :class:`~repro.core.estimator.CardinalityEstimator` seeded with the
+   sstables' persistent sketches (tables compacted before contribute
+   theirs for free — the §1 background loop never re-hashes a key),
+3. run the configured policy (SI / SO / BT(I) / BT(O) / LM / RANDOM)
    through the greedy framework to obtain a merge schedule, timing the
-   policy's decisions (the *strategy overhead* of §5.1),
-3. execute the schedule against the real sstables with
-   :func:`~repro.lsm.compaction.executor.execute_schedule`.
+   policy's decisions plus the sketch building (the *strategy overhead*
+   of §5.1),
+4. execute the schedule against the real sstables with
+   :func:`~repro.lsm.compaction.executor.execute_schedule`, which
+   propagates input sketches losslessly onto every merge output.
 
 BALANCETREE strategies default to ``lanes = 8`` (the paper's machine has
 8 cores and merges within a level are independent); everything else runs
@@ -16,9 +22,17 @@ on one lane, matching the paper's single-threaded implementations.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from ...core.backend import canonical_backend_name
+from ...core.estimator import (
+    CardinalityEstimator,
+    EstimatorSpec,
+    HllEstimator,
+    canonical_estimator_name,
+    make_estimator,
+)
 from ...core.greedy import GreedyMerger
 from ...core.instance import MergeInstance
 from ...core.policies import canonical_policy_name
@@ -29,6 +43,15 @@ from .executor import execute_schedule
 
 _PARALLEL_POLICIES = ("balance_tree", "balance_tree_input", "balance_tree_output")
 DEFAULT_PARALLEL_LANES = 8
+
+#: Policies whose choices consult a CardinalityEstimator, with the
+#: estimator each defaults to when none is configured.
+_ESTIMATOR_POLICY_DEFAULTS = {
+    "smallest_output": "exact",
+    "smallest_output_hll": "hll",
+    "balance_tree_output": "hll",
+    "balance_tree": "hll",  # only consulted when suborder == "output"
+}
 
 
 class MajorCompaction(CompactionStrategy):
@@ -43,10 +66,14 @@ class MajorCompaction(CompactionStrategy):
         drop_tombstones: bool = True,
         bloom_fp_rate: float = 0.01,
         backend: str = "frozenset",
+        estimator: "EstimatorSpec" = None,
         **policy_kwargs,
     ) -> None:
         self.policy_name = canonical_policy_name(policy)
         self.backend = canonical_backend_name(backend)
+        if isinstance(estimator, str):
+            estimator = canonical_estimator_name(estimator)
+        self.estimator = estimator
         self.k = k
         if lanes is None:
             lanes = (
@@ -60,6 +87,46 @@ class MajorCompaction(CompactionStrategy):
         self.bloom_fp_rate = bloom_fp_rate
         self.policy_kwargs = policy_kwargs
         self.name = f"major({self.policy_name}, k={k})"
+
+    # ------------------------------------------------------------------
+    def _uses_estimator(self) -> bool:
+        if self.policy_name == "balance_tree":
+            return self.policy_kwargs.get("suborder") == "output"
+        return self.policy_name in _ESTIMATOR_POLICY_DEFAULTS
+
+    def _run_estimator(
+        self, tables: Sequence[SSTable]
+    ) -> tuple[Optional[CardinalityEstimator], float]:
+        """A fresh per-run estimator, seeded with the tables' sketches.
+
+        Returns ``(estimator, sketch_seconds)``; sketch building is part
+        of the strategy's decision overhead (§5.1) and is billed there
+        by the caller.  Tables that kept a sketch from an earlier
+        compaction — the §1 background loop — contribute nothing.
+        """
+        if not self._uses_estimator():
+            return None, 0.0
+        spec = self.estimator
+        if spec is None:
+            spec = self.policy_kwargs.get("estimator")
+        if spec is None:
+            spec = _ESTIMATOR_POLICY_DEFAULTS[self.policy_name]
+        estimator = make_estimator(
+            spec,
+            hll_precision=self.policy_kwargs.get("hll_precision", 12),
+            hll_seed=self.policy_kwargs.get("hll_seed", 0),
+            force_pure=self.policy_kwargs.get("force_pure", False),
+        )
+        if not isinstance(estimator, HllEstimator) or estimator.force_pure:
+            return estimator, 0.0
+        started = time.perf_counter()
+        estimator.seed_sketches(
+            {
+                index: table.sketch(estimator.precision, estimator.seed)
+                for index, table in enumerate(tables)
+            }
+        )
+        return estimator, time.perf_counter() - started
 
     def compact(
         self,
@@ -77,14 +144,19 @@ class MajorCompaction(CompactionStrategy):
             )
 
         instance = MergeInstance(tuple(table.key_set for table in tables))
+        estimator, sketch_seconds = self._run_estimator(tables)
+        policy_kwargs = dict(self.policy_kwargs)
+        if estimator is not None:
+            policy_kwargs["estimator"] = estimator
         merger = GreedyMerger(
             self.policy_name,
             k=self.k,
             seed=self.seed,
             backend=self.backend,
-            **self.policy_kwargs,
+            **policy_kwargs,
         )
         greedy = merger.run(instance)
+        overhead_seconds = greedy.policy_seconds + sketch_seconds
 
         execution = execute_schedule(
             tables,
@@ -107,7 +179,11 @@ class MajorCompaction(CompactionStrategy):
             bytes_written=execution.bytes_written,
             io_seconds=execution.io_seconds,
             simulated_seconds=execution.simulated_seconds,
-            wall_seconds=execution.wall_seconds + greedy.policy_seconds,
-            strategy_overhead_seconds=greedy.policy_seconds,
-            extras={"policy_extras": greedy.extras, "lanes": self.lanes},
+            wall_seconds=execution.wall_seconds + overhead_seconds,
+            strategy_overhead_seconds=overhead_seconds,
+            extras={
+                "policy_extras": greedy.extras,
+                "lanes": self.lanes,
+                "sketch_seconds": sketch_seconds,
+            },
         )

@@ -21,6 +21,7 @@ from functools import cached_property
 from typing import Hashable, Iterable, Iterator, Optional, Sequence
 
 from ..errors import StorageError
+from ..hll import HyperLogLog
 from .bloom import BloomFilter
 from .record import Record
 
@@ -51,6 +52,10 @@ class SSTable:
         self.max_key = keys[-1]
         self._bloom_fp_rate = bloom_fp_rate
         self._index_interval = max(1, index_interval)
+        # (precision, seed) -> HyperLogLog over this table's keys; built
+        # lazily on first estimator use, or adopted losslessly from the
+        # input sketches of the compaction that produced this table.
+        self._sketches: dict[tuple[int, int], HyperLogLog] = {}
 
     # ------------------------------------------------------------------
     # Read-path accelerators (built lazily: compaction intermediates are
@@ -111,6 +116,48 @@ class SSTable:
 
     def key_range_overlaps(self, other: "SSTable") -> bool:
         return self.min_key <= other.max_key and other.min_key <= self.max_key
+
+    # ------------------------------------------------------------------
+    # Cardinality sketches (persistent across compactions)
+    # ------------------------------------------------------------------
+    def sketch(self, precision: int = 12, seed: int = 0) -> HyperLogLog:
+        """The table's HyperLogLog sketch, built lazily and cached.
+
+        SMALLESTOUTPUT-style strategies estimate union cardinalities
+        from these; because sstables are immutable the sketch is built
+        at most once per (precision, seed) over the table's lifetime —
+        compaction outputs usually inherit theirs from the merged inputs
+        (register-wise max is lossless) and never hash a key at all.
+        """
+        key = (precision, seed)
+        sketch = self._sketches.get(key)
+        if sketch is None:
+            sketch = HyperLogLog.of(self._keys, precision=precision, seed=seed)
+            self._sketches[key] = sketch
+        return sketch
+
+    def cached_sketch(self, precision: int = 12, seed: int = 0) -> Optional[HyperLogLog]:
+        """The cached sketch for (precision, seed), or None if not built."""
+        return self._sketches.get((precision, seed))
+
+    @property
+    def cached_sketch_keys(self) -> tuple[tuple[int, int], ...]:
+        """The (precision, seed) parameterizations with a cached sketch."""
+        return tuple(self._sketches)
+
+    def adopt_sketch(self, sketch: HyperLogLog) -> None:
+        """Cache a sketch known to cover exactly this table's keys.
+
+        Used by the compaction executor: the register-wise max of the
+        input tables' sketches equals the sketch of the merged output,
+        so the output adopts it instead of re-hashing its keys.
+        """
+        self._sketches[(sketch.precision, sketch.seed)] = sketch
+
+    @cached_property
+    def has_tombstones(self) -> bool:
+        """True when any record is a deletion marker."""
+        return self.live_key_count != len(self.records)
 
     # ------------------------------------------------------------------
     # Reads

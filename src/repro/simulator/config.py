@@ -39,20 +39,40 @@ class SimulationConfig:
     disk_bandwidth: float = DEFAULT_BANDWIDTH_BYTES_PER_SEC
     disk_seek_seconds: float = DEFAULT_SEEK_SECONDS
     seed: int = 0
-    backend: str = "frozenset"  # set kernel for the merge policies
+    # Set kernel for the merge policies.  The bitset kernel is exact
+    # (schedules are bit-identical to frozenset; the differential
+    # harness in tests/core/test_backend_equivalence.py enforces it) and
+    # several times faster at paper scale, so the experiment drivers
+    # default to it; the core library default stays "frozenset".
+    backend: str = "bitset"
+    # Union-cardinality oracle for the output-sensitive strategies (the
+    # "SO" and "BT(O)" labels): "hll" is the paper's practical scheme,
+    # "exact" the reference.  "SO(exact)" ignores this and stays exact.
+    estimator: str = "hll"
 
     def __post_init__(self) -> None:
-        # Normalize + validate the backend name eagerly so a typo fails
-        # at configuration time, not n sweeps into an experiment.
+        # Normalize + validate the backend/estimator names eagerly so a
+        # typo fails at configuration time, not n sweeps into an
+        # experiment.
         from ..core.backend import canonical_backend_name
-        from ..errors import BackendError
+        from ..core.estimator import canonical_estimator_name
+        from ..errors import BackendError, EstimatorError
+        from ..hll.hyperloglog import MAX_PRECISION, MIN_PRECISION
 
         try:
             object.__setattr__(
                 self, "backend", canonical_backend_name(self.backend)
             )
-        except BackendError as exc:
+            object.__setattr__(
+                self, "estimator", canonical_estimator_name(self.estimator)
+            )
+        except (BackendError, EstimatorError) as exc:
             raise ConfigError(str(exc)) from None
+        if not MIN_PRECISION <= self.hll_precision <= MAX_PRECISION:
+            raise ConfigError(
+                f"hll_precision must be in [{MIN_PRECISION}, {MAX_PRECISION}], "
+                f"got {self.hll_precision}"
+            )
         if not 0.0 <= self.update_fraction <= 1.0:
             raise ConfigError("update_fraction must be in [0, 1]")
         if self.k < 2:

@@ -28,7 +28,7 @@ from .metrics import StrategyResult
 #: label -> (policy name, parallel?) for the paper's §5.1 strategy set.
 PAPER_STRATEGIES: dict[str, tuple[str, bool]] = {
     "SI": ("smallest_input", False),
-    "SO": ("smallest_output_hll", False),
+    "SO": ("smallest_output", False),
     "BT(I)": ("balance_tree_input", True),
     "BT(O)": ("balance_tree_output", True),
     "RANDOM": ("random", False),
@@ -36,6 +36,13 @@ PAPER_STRATEGIES: dict[str, tuple[str, bool]] = {
     "LM": ("largest_match", False),
     "SO(exact)": ("smallest_output", False),
 }
+
+#: Labels whose estimator is pinned regardless of the config (the
+#: remaining estimator-capable labels follow ``config.estimator``).
+_PINNED_ESTIMATORS: dict[str, str] = {"SO(exact)": "exact"}
+
+#: Policies that consult a CardinalityEstimator at all.
+_ESTIMATOR_POLICIES = ("smallest_output", "balance_tree_output")
 
 
 def strategy_labels() -> tuple[str, ...]:
@@ -56,14 +63,18 @@ def build_strategy(
             f"unknown strategy label {label!r}; known: {sorted(PAPER_STRATEGIES)}"
         ) from None
     kwargs: dict = {}
-    if policy in ("smallest_output_hll", "balance_tree_output"):
-        kwargs["hll_precision"] = config.hll_precision
+    estimator = None
+    if policy in _ESTIMATOR_POLICIES:
+        estimator = _PINNED_ESTIMATORS.get(label, config.estimator)
+        if estimator == "hll":
+            kwargs["hll_precision"] = config.hll_precision
     return MajorCompaction(
         policy,
         k=config.k,
         lanes=config.parallel_lanes if parallel else 1,
         seed=seed if seed is not None else config.seed,
         backend=config.backend,
+        estimator=estimator,
         **kwargs,
     )
 

@@ -1,0 +1,199 @@
+"""Sketch lifecycle across the lsm layer: build once, never re-hash.
+
+The §1 deployment loop runs compactions in the background over long
+table lifetimes.  Three pieces make the HLL estimator's cost amortize
+across that loop:
+
+* :meth:`SSTable.sketch` builds lazily and caches per (precision, seed),
+* the executor propagates input sketches losslessly onto each merge
+  output (skipped when tombstone GC could drop keys),
+* :class:`MajorCompaction` seeds its per-run estimator from those
+  caches, so a key is hashed at most once over a table's lifetime.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import MergeSchedule, MergeStep
+from repro.hll import HyperLogLog
+from repro.lsm import MajorCompaction, Record, SSTable, SimulatedDisk, execute_schedule
+from repro.lsm.compaction.controller import CompactionController
+from repro.lsm.engine import EngineConfig, LSMEngine
+from repro.ycsb.operations import Operation, OperationType
+
+
+def make_tables(n_tables=6, keys_per_table=40, universe=200, seed=0, tombstone_rate=0.0):
+    rng = random.Random(seed)
+    tables = []
+    seqno = 0
+    for table_id in range(n_tables):
+        records = []
+        for key in sorted(rng.sample(range(universe), keys_per_table)):
+            seqno += 1
+            if rng.random() < tombstone_rate:
+                records.append(Record.delete(key, seqno))
+            else:
+                records.append(Record.put(key, seqno, value_size=50))
+        tables.append(SSTable(table_id, records))
+    return tables
+
+
+class TestSSTableSketch:
+    def test_lazy_build_and_cache(self):
+        table = make_tables(1)[0]
+        assert table.cached_sketch() is None
+        sketch = table.sketch()
+        assert table.cached_sketch() is sketch
+        assert table.sketch() is sketch  # no rebuild
+
+    def test_sketch_matches_key_set(self):
+        table = make_tables(1)[0]
+        direct = HyperLogLog.of(table.key_set)
+        assert table.sketch()._registers == direct._registers
+
+    def test_cache_keyed_by_parameters(self):
+        table = make_tables(1)[0]
+        low = table.sketch(precision=8)
+        high = table.sketch(precision=12)
+        assert low is not high
+        assert set(table.cached_sketch_keys) == {(8, 0), (12, 0)}
+
+    def test_adopt_sketch(self):
+        table = make_tables(1)[0]
+        sketch = HyperLogLog.of(table.key_set, precision=10, seed=7)
+        table.adopt_sketch(sketch)
+        assert table.cached_sketch(10, 7) is sketch
+
+    def test_has_tombstones(self):
+        clean = make_tables(1, seed=1)[0]
+        dirty = make_tables(1, seed=2, tombstone_rate=0.5)[0]
+        assert not clean.has_tombstones
+        assert dirty.has_tombstones
+
+
+class TestExecutorPropagation:
+    def test_output_inherits_union_sketch(self):
+        tables = make_tables(4, seed=3)
+        for table in tables:
+            table.sketch()
+        schedule = MergeSchedule(
+            4, [MergeStep((0, 1), 4), MergeStep((2, 3), 5), MergeStep((4, 5), 6)]
+        )
+        result = execute_schedule(
+            tables, schedule, SimulatedDisk(), next_table_id=10, drop_tombstones=False
+        )
+        output = result.output_table
+        inherited = output.cached_sketch()
+        assert inherited is not None
+        assert inherited._registers == HyperLogLog.of(output.key_set)._registers
+
+    def test_no_propagation_without_input_sketches(self):
+        tables = make_tables(2, seed=4)
+        schedule = MergeSchedule(2, [MergeStep((0, 1), 2)])
+        result = execute_schedule(
+            tables, schedule, SimulatedDisk(), next_table_id=10
+        )
+        assert result.output_table.cached_sketch() is None
+
+    def test_tombstone_drop_blocks_final_propagation(self):
+        tables = make_tables(2, seed=5, tombstone_rate=0.4)
+        for table in tables:
+            table.sketch()
+        schedule = MergeSchedule(2, [MergeStep((0, 1), 2)])
+        result = execute_schedule(
+            tables, schedule, SimulatedDisk(), next_table_id=10, drop_tombstones=True
+        )
+        # GC dropped keys, so the union sketch would overcount: not adopted.
+        assert result.output_table.cached_sketch() is None
+
+    def test_tombstone_free_final_merge_still_propagates(self):
+        tables = make_tables(2, seed=6)
+        for table in tables:
+            table.sketch()
+        schedule = MergeSchedule(2, [MergeStep((0, 1), 2)])
+        result = execute_schedule(
+            tables, schedule, SimulatedDisk(), next_table_id=10, drop_tombstones=True
+        )
+        assert result.output_table.cached_sketch() is not None
+
+
+class TestMajorCompactionSeeding:
+    def test_inputs_gain_cached_sketches(self):
+        tables = make_tables(5, seed=7)
+        strategy = MajorCompaction("smallest_output", estimator="hll")
+        result = strategy.compact(tables, SimulatedDisk(), next_table_id=100)
+        assert all(table.cached_sketch() is not None for table in tables)
+        assert result.output_table.cached_sketch() is not None
+        assert result.extras["sketch_seconds"] >= 0.0
+
+    def test_accepts_prebuilt_estimator_instance(self):
+        from repro.core import HllEstimator
+
+        tables = make_tables(5, seed=11)
+        strategy = MajorCompaction(
+            "smallest_output", estimator=HllEstimator(precision=10)
+        )
+        result = strategy.compact(tables, SimulatedDisk(), next_table_id=100)
+        assert result.n_merges == 4
+        assert all(table.cached_sketch(10, 0) is not None for table in tables)
+
+    def test_exact_estimator_builds_no_sketches(self):
+        tables = make_tables(5, seed=8)
+        strategy = MajorCompaction("smallest_output", estimator="exact")
+        strategy.compact(tables, SimulatedDisk(), next_table_id=100)
+        assert all(table.cached_sketch() is None for table in tables)
+
+    def test_non_estimator_policy_untouched(self):
+        tables = make_tables(5, seed=9)
+        MajorCompaction("smallest_input").compact(
+            tables, SimulatedDisk(), next_table_id=100
+        )
+        assert all(table.cached_sketch() is None for table in tables)
+
+    def test_schedule_identical_with_and_without_seeding(self):
+        """Persistent sketches change overhead, never the schedule."""
+        cold = make_tables(6, seed=10)
+        warm = make_tables(6, seed=10)
+        for table in warm:
+            table.sketch()
+        cold_result = MajorCompaction("smallest_output", estimator="hll").compact(
+            cold, SimulatedDisk(), next_table_id=100
+        )
+        warm_result = MajorCompaction("smallest_output", estimator="hll").compact(
+            warm, SimulatedDisk(), next_table_id=100
+        )
+        assert cold_result.schedule == warm_result.schedule
+
+
+class TestControllerLifetimes:
+    def _write(self, controller, key, seqno_hint):
+        controller.apply(
+            Operation(OperationType.INSERT, key, value_size=20)
+        )
+
+    def test_background_loop_reuses_survivor_sketch(self):
+        engine = LSMEngine(EngineConfig(memtable_capacity=10, use_wal=False))
+        controller = CompactionController(
+            engine,
+            strategy_factory=lambda: MajorCompaction(
+                "smallest_output", estimator="hll", drop_tombstones=False
+            ),
+            table_threshold=4,
+        )
+        key = 0
+        while not controller.history:
+            self._write(controller, key, key)
+            key += 1
+        survivor = engine.sstables[0]
+        first_sketch = survivor.cached_sketch()
+        assert first_sketch is not None  # propagated through the merge tree
+        while len(controller.history) < 2:
+            self._write(controller, key, key)
+            key += 1
+        # The second compaction consumed the survivor without re-hashing
+        # it: its cached sketch object was reused as-is.
+        assert survivor.cached_sketch() is first_sketch
+        assert engine.sstables[0].cached_sketch() is not None

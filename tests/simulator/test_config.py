@@ -24,6 +24,31 @@ class TestValidation:
         with pytest.raises(ConfigError):
             SimulationConfig(parallel_lanes=0)
 
+    def test_experiment_driver_defaults(self):
+        """Paper-scale drivers default to the fast exact kernels."""
+        config = SimulationConfig()
+        assert config.backend == "bitset"
+        assert config.estimator == "hll"
+
+    def test_backend_and_estimator_aliases_canonicalized(self):
+        config = SimulationConfig(backend="bits", estimator="hyperloglog")
+        assert config.backend == "bitset"
+        assert config.estimator == "hll"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(backend="vibes")
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(estimator="psychic")
+
+    def test_hll_precision_bounds(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(hll_precision=3)
+        with pytest.raises(ConfigError):
+            SimulationConfig(hll_precision=99)
+
 
 class TestPresets:
     def test_figure7_settings(self):
