@@ -16,6 +16,7 @@ between the cost and time panels.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -67,4 +68,26 @@ def figure7_results():
 def write_artifact(results_dir: Path, name: str, result) -> Path:
     path = results_dir / f"{name}.txt"
     path.write_text(f"{result.title}\n\n{result.text}\n")
+    return path
+
+
+def series_payload(result) -> dict:
+    """An ExperimentResult's series as JSON-friendly [x, y] pair lists."""
+    return {
+        label: [[float(x), float(y)] for x, y in points]
+        for label, points in result.series.items()
+    }
+
+
+def write_bench_json(results_dir: Path, name: str, payload: dict) -> Path:
+    """Machine-readable companion to the rendered ``results/*.txt``.
+
+    Every bench writes a ``BENCH_<name>.json`` capturing its headline
+    numbers (speedups, timed seconds, scale parameters) so the perf
+    trajectory is diffable across PRs and uploadable as a CI artifact.
+    Values must be JSON-serializable; keep them primitive.
+    """
+    path = results_dir / f"BENCH_{name}.json"
+    document = {"bench": name, "fast_mode": is_fast(), **payload}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import math
 
+from conftest import write_bench_json
+
 from repro.analysis import format_table
 from repro.core import merge_with
 from repro.core.adversarial import (
@@ -42,6 +44,11 @@ def test_bt_ratio_grows_logarithmically(benchmark, results_dir):
         + "\n"
     )
     ratios = [ratio for *_, ratio in rows]
+    write_bench_json(
+        results_dir,
+        "adversarial_bt",
+        {"ratios_by_n": {str(n): ratio for n, *_, ratio in rows}},
+    )
     # strictly growing gap, scaling like log n / 4 at least
     assert all(a < b for a, b in zip(ratios, ratios[1:]))
     for (n, *_, ratio) in rows:
@@ -83,6 +90,11 @@ def test_lm_ratio_grows_linearly(benchmark, results_dir):
         + "\n"
     )
     ratios = [ratio for *_, ratio in rows]
+    write_bench_json(
+        results_dir,
+        "adversarial_lm",
+        {"ratios_by_n": {str(n): ratio for n, *_, ratio in rows}},
+    )
     assert all(a < b for a, b in zip(ratios, ratios[1:]))
     for (n, *_, ratio) in rows:
         assert ratio >= (n - 1) / 4

@@ -22,7 +22,7 @@ from repro.core import MergeInstance, merge_with
 from repro.simulator import SimulationConfig
 from repro.simulator.phase1 import generate_sstables
 
-from conftest import write_artifact
+from conftest import write_artifact, write_bench_json
 
 #: (label, policy registry name) — the two O(n^2)-scan policies.
 POLICIES = (("SO(exact)", "smallest_output"), ("LM", "largest_match"))
@@ -91,3 +91,19 @@ def test_bitset_speedup_with_identical_schedules(
         text = table
 
     write_artifact(results_dir, "ablation_backend_speedup", _Artifact())
+    write_bench_json(
+        results_dir,
+        "backend_speedup",
+        {
+            "min_speedup_bar": min_speedup,
+            "n_tables": len(fig7_tables),
+            "policies": {
+                label: {
+                    "baseline_seconds": frozenset_seconds,
+                    "optimized_seconds": bitset_seconds,
+                    "speedup": speedup,
+                }
+                for label, _, frozenset_seconds, bitset_seconds, speedup in rows
+            },
+        },
+    )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from conftest import is_fast
+from conftest import is_fast, write_bench_json
 
 from repro.analysis import format_table
 from repro.simulator import SimulationConfig, generate_sstables, run_strategy
@@ -58,6 +58,19 @@ def test_all_distributions_show_same_picture(benchmark, results_dir):
     (results_dir / "ablation_distributions.txt").write_text(
         format_table(["distribution", "strategy", "costactual", "sim s"], rows)
         + "\n"
+    )
+    write_bench_json(
+        results_dir,
+        "distributions",
+        {
+            "cost_actual": {
+                distribution: {
+                    label: result.cost_actual
+                    for label, result in per_strategy.items()
+                }
+                for distribution, per_strategy in results.items()
+            }
+        },
     )
 
     for distribution, per_strategy in results.items():

@@ -37,7 +37,7 @@ from repro.hll.registers import RegisterArray
 from repro.simulator import SimulationConfig
 from repro.simulator.phase1 import generate_sstables
 
-from conftest import write_artifact
+from conftest import write_artifact, write_bench_json
 
 REPEATS = 3  # best-of timing to damp scheduler noise
 
@@ -149,6 +149,21 @@ def test_vectorized_overhead_at_least_3x_lower(fig7_tables, bench_fast, results_
         text = table
 
     write_artifact(results_dir, "ablation_estimator_speedup", _Artifact())
+    write_bench_json(
+        results_dir,
+        "estimator_speedup",
+        {
+            "min_speedup_bar": min_speedup,
+            "n_tables": len(fig7_tables),
+            "variants": {
+                variant: {
+                    "overhead_seconds": seconds[variant],
+                    "speedup_vs_legacy": seconds["legacy"] / seconds[variant],
+                }
+                for variant in VARIANTS
+            },
+        },
+    )
 
     assert speedup >= min_speedup, (
         f"vectorized estimator speedup {speedup:.2f}x below the "

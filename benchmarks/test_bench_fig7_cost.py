@@ -13,7 +13,7 @@ update-heavy.  The paper's qualitative claims are asserted:
 
 from __future__ import annotations
 
-from conftest import write_artifact
+from conftest import series_payload, write_artifact, write_bench_json
 
 
 def test_fig7a_cost_vs_update_percentage(benchmark, figure7_results, results_dir):
@@ -22,6 +22,11 @@ def test_fig7a_cost_vs_update_percentage(benchmark, figure7_results, results_dir
 
     fig7a, _ = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     write_artifact(results_dir, "fig7a", fig7a)
+    write_bench_json(
+        results_dir,
+        "fig7_cost",
+        {"runs": fig7a.metadata["runs"], "series": series_payload(fig7a)},
+    )
 
     series = fig7a.series
     points = {label: dict(values) for label, values in series.items()}

@@ -13,7 +13,7 @@ strategies.  Asserted paper claims:
 
 from __future__ import annotations
 
-from conftest import write_artifact
+from conftest import series_payload, write_artifact, write_bench_json
 
 
 def test_fig7b_time_vs_update_percentage(benchmark, figure7_results, results_dir):
@@ -22,6 +22,11 @@ def test_fig7b_time_vs_update_percentage(benchmark, figure7_results, results_dir
 
     _, fig7b = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     write_artifact(results_dir, "fig7b", fig7b)
+    write_bench_json(
+        results_dir,
+        "fig7_time",
+        {"runs": fig7b.metadata["runs"], "series": series_payload(fig7b)},
+    )
 
     points = {label: dict(values) for label, values in fig7b.series.items()}
     update_levels = sorted(points["SI"])

@@ -12,7 +12,7 @@ memtable size swept 10 -> 10 000 (log-log axes).  Asserted claims:
 
 from __future__ import annotations
 
-from conftest import is_fast, write_artifact
+from conftest import is_fast, series_payload, write_artifact, write_bench_json
 
 
 def test_fig8_bt_cost_vs_lower_bound(benchmark, results_dir):
@@ -38,3 +38,14 @@ def test_fig8_bt_cost_vs_lower_bound(benchmark, results_dir):
     # Constant factor: the ratio varies by < 1.6x across three decades
     # of memtable size (the paper's "within a constant factor" claim).
     assert max(ratios) / min(ratios) < 1.6
+
+    write_bench_json(
+        results_dir,
+        "fig8_optimal_gap",
+        {
+            "bt_slope": bt_slope,
+            "lopt_slope": lopt_slope,
+            "cost_over_lopt": list(ratios),
+            "series": series_payload(result),
+        },
+    )

@@ -14,7 +14,7 @@ distribution, and positive fitted slopes.
 
 from __future__ import annotations
 
-from conftest import is_fast, write_artifact
+from conftest import is_fast, series_payload, write_artifact, write_bench_json
 
 
 def test_fig9a_update_sweep(benchmark, results_dir):
@@ -29,6 +29,11 @@ def test_fig9a_update_sweep(benchmark, results_dir):
     assert set(correlations) == {"uniform", "zipfian", "latest"}
     for distribution, r in correlations.items():
         assert r >= 0.97, f"{distribution}: time not linear in cost (r={r:.4f})"
+    write_bench_json(
+        results_dir,
+        "fig9a_cost_vs_time",
+        {"pearson_r": correlations, "series": series_payload(result)},
+    )
 
 
 def test_fig9b_operationcount_sweep(benchmark, results_dir):
@@ -42,6 +47,11 @@ def test_fig9b_operationcount_sweep(benchmark, results_dir):
     correlations = result.metadata["r"]
     for distribution, r in correlations.items():
         assert r >= 0.97, f"{distribution}: time not linear in cost (r={r:.4f})"
+    write_bench_json(
+        results_dir,
+        "fig9b_cost_vs_time",
+        {"pearson_r": correlations, "series": series_payload(result)},
+    )
     # more data => more cost: series must be increasing in cost
     for distribution, points in result.series.items():
         costs = [cost for cost, _ in points]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from conftest import is_fast
+from conftest import is_fast, write_bench_json
 
 from repro.analysis import format_table
 from repro.core import MergeInstance, merge_with
@@ -54,6 +54,21 @@ def test_so_cost_vs_hll_precision(benchmark, results_dir):
             float_digits=4,
         )
         + "\n"
+    )
+    write_bench_json(
+        results_dir,
+        "hll_precision",
+        {
+            "rows": [
+                {
+                    "estimator": label,
+                    "so_cost": cost,
+                    "cost_vs_exact": ratio,
+                    "overhead_seconds": overhead,
+                }
+                for label, cost, ratio, overhead in rows
+            ]
+        },
     )
     by_label = {label: ratio for label, _, ratio, _ in rows}
     assert by_label["p=8"] <= 1.10

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from conftest import is_fast
+from conftest import is_fast, write_bench_json
 
 from repro.analysis import format_table
 from repro.core import GreedyMerger, MergeInstance
@@ -46,6 +46,16 @@ def test_kway_cost_decreases_with_fanin(benchmark, results_dir):
             ["k", "costactual", "merges", "sim seconds"], rows, float_digits=3
         )
         + "\n"
+    )
+    write_bench_json(
+        results_dir,
+        "kway",
+        {
+            "rows": [
+                {"k": k, "cost_actual": cost, "merges": merges, "sim_seconds": sim}
+                for k, cost, merges, sim in rows
+            ]
+        },
     )
     costs = [cost for _, cost, _, _ in rows]
     merges = [m for _, _, m, _ in rows]

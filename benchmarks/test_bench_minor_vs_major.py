@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import random
 
+from conftest import write_bench_json
+
 from repro.analysis import format_table
 from repro.core import merge_with
 from repro.core.adversarial import huffman_instance
@@ -57,6 +59,10 @@ def test_minor_vs_major_total_io(benchmark, results_dir):
     (results_dir / "ablation_minor_vs_major.txt").write_text(
         format_table(["regime", "total merge I/O (entries)"], rows)
         + f"\narrivals: {arrivals}\n"
+    )
+
+    write_bench_json(
+        results_dir, "minor_vs_major", {"total_merge_io_entries": costs}
     )
 
     # online minor policies are upper bounds on the offline optimum

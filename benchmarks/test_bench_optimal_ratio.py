@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 import statistics
 
+from conftest import write_bench_json
+
 from repro.analysis import format_table
 from repro.core import MergeInstance, merge_with, optimal_merge
 from repro.core.bounds import balance_tree_bound, smallest_heuristic_bound
@@ -62,6 +64,21 @@ def test_measured_ratios_far_below_guarantees(benchmark, results_dir):
         + "\n"
     )
 
+    write_bench_json(
+        results_dir,
+        "optimal_ratio",
+        {
+            "n_sets": N_SETS,
+            "trials": TRIALS,
+            "cost_over_opt": {
+                policy: {
+                    "mean": statistics.mean(values),
+                    "max": max(values),
+                }
+                for policy, values in ratios.items()
+            },
+        },
+    )
     si_bound = smallest_heuristic_bound(N_SETS)  # ~6.9
     bt_bound = balance_tree_bound(N_SETS)  # 5.0
     for policy in ("SI", "SO"):

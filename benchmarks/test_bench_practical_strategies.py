@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from conftest import is_fast
+from conftest import is_fast, write_bench_json
 
 from repro.analysis import format_table
 from repro.lsm import (
@@ -59,6 +59,21 @@ def test_practical_strategies_cost_and_structure(benchmark, results_dir):
             ["strategy", "costactual", "output tables", "merges"], rows
         )
         + "\n"
+    )
+    write_bench_json(
+        results_dir,
+        "practical_strategies",
+        {
+            "rows": [
+                {
+                    "strategy": name,
+                    "cost_actual": cost,
+                    "output_tables": outputs,
+                    "merges": merges,
+                }
+                for name, cost, outputs, merges in rows
+            ]
+        },
     )
     by_name = {name: (cost, outputs) for name, cost, outputs, _ in rows}
 

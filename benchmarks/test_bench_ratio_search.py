@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from conftest import is_fast
+from conftest import is_fast, write_bench_json
 
 from repro.analysis import format_table
 from repro.core import MergeInstance, merge_with, optimal_merge
@@ -87,6 +87,18 @@ def test_search_for_bad_si_so_instances(benchmark, results_dir):
         + "\n"
     )
 
+    write_bench_json(
+        results_dir,
+        "ratio_search",
+        {
+            "trials": trials,
+            "n_sets": N_SETS,
+            "guarantee": guarantee,
+            "worst_cost_over_opt": {
+                policy: ratio for policy, (ratio, _) in worst.items()
+            },
+        },
+    )
     for policy, (ratio, _) in worst.items():
         # The paper's conjecture: nothing close to the O(log n) factor.
         assert ratio < guarantee / 2, (

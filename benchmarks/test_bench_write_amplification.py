@@ -13,7 +13,7 @@ over an update-heavy YCSB workload and measures lifetime amplification:
 
 from __future__ import annotations
 
-from conftest import is_fast
+from conftest import is_fast, write_bench_json
 
 from repro.analysis import format_table
 from repro.lsm import (
@@ -93,6 +93,15 @@ def test_write_amplification_vs_aggressiveness(benchmark, results_dir):
 
     wa = {name: report.write_amplification for name, (report, _, _) in rows.items()}
     tables = {name: count for name, (_, count, _) in rows.items()}
+    write_bench_json(
+        results_dir,
+        "write_amplification",
+        {
+            "operationcount": operationcount,
+            "write_amplification": wa,
+            "tables_on_disk": tables,
+        },
+    )
 
     # no compaction: every byte written once (flush only)
     assert wa["none"] < 1.6

@@ -99,6 +99,7 @@ def figure7(
     backend: Optional[str] = None,
     estimator: Optional[str] = None,
     hll_precision: Optional[int] = None,
+    jobs: int = 1,
 ) -> tuple[ExperimentResult, ExperimentResult]:
     """Both panels of Figure 7 from a single sweep.
 
@@ -118,7 +119,7 @@ def figure7(
             else SimulationConfig.figure7(0.0, distribution)
         )
     base = _apply_overrides(base, backend, estimator, hll_precision)
-    sweep = sweep_update_fraction(base, fractions, FIG7_STRATEGIES, runs)
+    sweep = sweep_update_fraction(base, fractions, FIG7_STRATEGIES, runs, jobs=jobs)
 
     cost_rows, time_rows = [], []
     cost_series: dict[str, list[tuple[float, float]]] = {s: [] for s in FIG7_STRATEGIES}
@@ -181,9 +182,15 @@ def figure7a(
     backend: Optional[str] = None,
     estimator: Optional[str] = None,
     hll_precision: Optional[int] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     return figure7(
-        fast, runs, backend=backend, estimator=estimator, hll_precision=hll_precision
+        fast,
+        runs,
+        backend=backend,
+        estimator=estimator,
+        hll_precision=hll_precision,
+        jobs=jobs,
     )[0]
 
 
@@ -193,9 +200,15 @@ def figure7b(
     backend: Optional[str] = None,
     estimator: Optional[str] = None,
     hll_precision: Optional[int] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     return figure7(
-        fast, runs, backend=backend, estimator=estimator, hll_precision=hll_precision
+        fast,
+        runs,
+        backend=backend,
+        estimator=estimator,
+        hll_precision=hll_precision,
+        jobs=jobs,
     )[1]
 
 
@@ -210,6 +223,7 @@ def figure8(
     backend: Optional[str] = None,
     estimator: Optional[str] = None,
     hll_precision: Optional[int] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     # BT(I) never consults an estimator, so only the backend override
     # can change anything here; accepted for CLI uniformity.
@@ -223,6 +237,7 @@ def figure8(
         runs=runs,
         distribution=distribution,
         backend=backend,
+        jobs=jobs,
     )
     rows = []
     bt_series: list[tuple[float, float]] = []
@@ -295,6 +310,7 @@ def figure9a(
     backend: Optional[str] = None,
     estimator: Optional[str] = None,
     hll_precision: Optional[int] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     runs = runs if runs is not None else (1 if fast else 3)
     series: dict[str, list[tuple[float, float]]] = {}
@@ -306,7 +322,7 @@ def figure9a(
             else SimulationConfig.figure7(0.0, distribution)
         )
         base = _apply_overrides(base, backend, estimator, hll_precision)
-        sweep = sweep_update_fraction(base, UPDATE_FRACTIONS, ("SI",), runs)
+        sweep = sweep_update_fraction(base, UPDATE_FRACTIONS, ("SI",), runs, jobs=jobs)
         points = _cost_time_points(sweep)
         series[distribution] = points
         fits[distribution] = linear_fit(
@@ -340,6 +356,7 @@ def figure9b(
     backend: Optional[str] = None,
     estimator: Optional[str] = None,
     hll_precision: Optional[int] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     runs = runs if runs is not None else (1 if fast else 3)
     counts = (
@@ -354,7 +371,7 @@ def figure9b(
             SimulationConfig.figure7(0.0, distribution), update_fraction=0.6
         )
         base = _apply_overrides(base, backend, estimator, hll_precision)
-        sweep = sweep_operationcount(base, counts, ("SI",), runs)
+        sweep = sweep_operationcount(base, counts, ("SI",), runs, jobs=jobs)
         points = _cost_time_points(sweep)
         series[distribution] = points
         fits[distribution] = linear_fit(
@@ -398,6 +415,7 @@ def run_experiment(
     backend: Optional[str] = None,
     estimator: Optional[str] = None,
     hll_precision: Optional[int] = None,
+    jobs: int = 1,
 ) -> list[ExperimentResult]:
     """Run one experiment id (``fig7`` expands to both panels)."""
     if experiment_id == "fig7":
@@ -408,6 +426,7 @@ def run_experiment(
                 backend=backend,
                 estimator=estimator,
                 hll_precision=hll_precision,
+                jobs=jobs,
             )
         )
     if experiment_id not in EXPERIMENTS:
@@ -421,6 +440,7 @@ def run_experiment(
         backend=backend,
         estimator=estimator,
         hll_precision=hll_precision,
+        jobs=jobs,
     )
     return [result]  # type: ignore[list-item]
 
@@ -456,6 +476,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         default=None,
         help="HyperLogLog precision p (registers = 2**p; default: 12)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep's (point x run) cells; "
+        "results are byte-identical for any value (default: 1)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "all":
@@ -470,6 +497,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
             backend=args.backend,
             estimator=args.estimator,
             hll_precision=args.hll_precision,
+            jobs=args.jobs,
         ):
             result.print()
             print()

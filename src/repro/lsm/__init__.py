@@ -27,7 +27,7 @@ from .memtable import (
     make_memtable,
 )
 from .record import ENTRY_OVERHEAD_BYTES, Record
-from .sstable import SSTable, merge_sstables, table_from_records
+from .sstable import MERGE_KERNELS, SSTable, TableColumns, merge_sstables, table_from_records
 from .wal import WriteAheadLog
 
 __all__ = [
@@ -45,6 +45,7 @@ __all__ = [
     "IoStats",
     "LSMEngine",
     "LeveledCompaction",
+    "MERGE_KERNELS",
     "MajorCompaction",
     "Memtable",
     "ReadStats",
@@ -53,6 +54,7 @@ __all__ = [
     "SimulatedDisk",
     "SizeTieredCompaction",
     "SortedMapMemtable",
+    "TableColumns",
     "WriteAheadLog",
     "execute_schedule",
     "make_memtable",

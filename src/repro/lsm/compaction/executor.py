@@ -75,8 +75,14 @@ def execute_schedule(
     lanes: int = 1,
     drop_tombstones: bool = True,
     bloom_fp_rate: float = 0.01,
+    merge_kernel: str = "auto",
 ) -> ExecutionResult:
-    """Execute every merge step; see module docstring for the time model."""
+    """Execute every merge step; see module docstring for the time model.
+
+    ``merge_kernel`` is forwarded to every
+    :func:`~repro.lsm.sstable.merge_sstables` call (``"auto"`` /
+    ``"columnar"`` / ``"heap"``; the kernels are bit-identical).
+    """
     if lanes < 1:
         raise CompactionError(f"lanes must be >= 1, got {lanes}")
     if schedule.n_initial != len(tables):
@@ -105,6 +111,7 @@ def execute_schedule(
             new_table_id=next_table_id,
             drop_tombstones=dropping,
             bloom_fp_rate=bloom_fp_rate,
+            kernel=merge_kernel,
         )
         next_table_id += 1
         live[step.output] = output

@@ -17,7 +17,7 @@ Two implementations with one interface:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Hashable
+from typing import Hashable, Sequence
 
 from ..errors import ConfigError, StorageError
 from .record import Record
@@ -34,6 +34,16 @@ class Memtable(ABC):
     @abstractmethod
     def add(self, record: Record) -> None:
         """Buffer one write."""
+
+    @abstractmethod
+    def add_batch(self, records: Sequence[Record]) -> None:
+        """Buffer many writes at once.
+
+        Unlike a loop of :meth:`add` calls, a batch that does not fit is
+        rejected up front (no partial fill); callers split their stream
+        at capacity boundaries.  ``AppendLogMemtable`` implements this
+        as a single bulk extend — the batched data plane's fill path.
+        """
 
     @abstractmethod
     def get(self, key: Hashable) -> Record | None:
@@ -72,6 +82,14 @@ class AppendLogMemtable(Memtable):
             raise StorageError("memtable is full; flush before writing")
         self._log.append(record)
 
+    def add_batch(self, records: Sequence[Record]) -> None:
+        if len(self._log) + len(records) > self.capacity_entries:
+            raise StorageError(
+                f"batch of {len(records)} records does not fit "
+                f"({len(self._log)}/{self.capacity_entries} used)"
+            )
+        self._log.extend(records)
+
     def get(self, key: Hashable) -> Record | None:
         for record in reversed(self._log):
             if record.key == key:
@@ -104,6 +122,16 @@ class SortedMapMemtable(Memtable):
         if record.key not in self._map and self.is_full:
             raise StorageError("memtable is full; flush before writing")
         self._map[record.key] = record
+
+    def add_batch(self, records: Sequence[Record]) -> None:
+        fresh = {record.key for record in records} - self._map.keys()
+        if len(self._map) + len(fresh) > self.capacity_entries:
+            raise StorageError(
+                f"batch introduces {len(fresh)} new keys and does not fit "
+                f"({len(self._map)}/{self.capacity_entries} used)"
+            )
+        for record in records:
+            self._map[record.key] = record
 
     def get(self, key: Hashable) -> Record | None:
         return self._map.get(key)

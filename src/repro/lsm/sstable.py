@@ -6,26 +6,61 @@ read-path accelerators a real store attaches: a bloom filter and a
 sparse index (one anchor every ``index_interval`` entries) for
 binary-search point lookups.
 
-:func:`merge_sstables` is the compaction kernel (Figure 2): a heap-based
-k-way merge-sort keeping the newest version of each key.  Tombstone
-garbage collection is optional because it is only safe when the merge
-output is the *bottommost* table for its key range — i.e. the final
-merge of a major compaction.
+Tables have two internal representations with one interface:
+
+* **record-backed** — built from :class:`~repro.lsm.record.Record`
+  objects (the engine write path, generic keys/payloads);
+* **column-backed** — built from int64 key/seqno/value-size/tombstone
+  arrays (:meth:`SSTable.from_columns`, the simulator's batched data
+  plane).  ``Record`` objects are materialized lazily, only if a caller
+  actually iterates them; compaction chains of column-backed tables
+  never allocate a single ``Record``.
+
+:func:`merge_sstables` is the compaction kernel (Figure 2), with two
+bit-identical implementations: a columnar sorted-array merge (numpy
+``lexsort`` + dedup-by-newest-seqno + tombstone mask) used whenever
+every input can expose int64 columns, and the heap-based k-way
+merge-sort fallback.  Tombstone garbage collection is optional because
+it is only safe when the merge output is the *bottommost* table for its
+key range — i.e. the final merge of a major compaction.
 """
 
 from __future__ import annotations
 
 import heapq
 from bisect import bisect_right
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Hashable, Iterable, Iterator, Optional, Sequence
 
 from ..errors import StorageError
 from ..hll import HyperLogLog
 from .bloom import BloomFilter
-from .record import Record
+from .record import ENTRY_OVERHEAD_BYTES, Record
+
+try:  # optional acceleration; the heap merge kernel needs no numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
 
 DEFAULT_INDEX_INTERVAL = 16
+
+#: ``merge_sstables`` kernel names.
+MERGE_KERNELS = ("auto", "columnar", "heap")
+
+
+@dataclass(frozen=True)
+class TableColumns:
+    """An int64 column view of one sstable (keys strictly ascending).
+
+    ``tombstones`` is ``None`` when the table has no deletion markers —
+    the overwhelmingly common case — so kernels can skip the mask work.
+    """
+
+    keys: "_np.ndarray"
+    seqnos: "_np.ndarray"
+    value_sizes: "_np.ndarray"
+    tombstones: Optional["_np.ndarray"]
 
 
 class SSTable:
@@ -45,17 +80,155 @@ class SSTable:
             raise StorageError(
                 f"sstable {table_id} records must be strictly sorted by key"
             )
-        self.table_id = table_id
         self.records: tuple[Record, ...] = tuple(records)
         self._keys: list = keys
-        self.min_key = keys[0]
-        self.max_key = keys[-1]
+        self._init_common(
+            table_id, len(keys), keys[0], keys[-1], bloom_fp_rate, index_interval
+        )
+
+    def _init_common(
+        self,
+        table_id: int,
+        entry_count: int,
+        min_key,
+        max_key,
+        bloom_fp_rate: float,
+        index_interval: int,
+    ) -> None:
+        self.table_id = table_id
+        self._entry_count = entry_count
+        self.min_key = min_key
+        self.max_key = max_key
         self._bloom_fp_rate = bloom_fp_rate
         self._index_interval = max(1, index_interval)
         # (precision, seed) -> HyperLogLog over this table's keys; built
         # lazily on first estimator use, or adopted losslessly from the
         # input sketches of the compaction that produced this table.
         self._sketches: dict[tuple[int, int], HyperLogLog] = {}
+
+    # ------------------------------------------------------------------
+    # Columnar construction and views
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        table_id: int,
+        keys,
+        seqnos,
+        value_sizes=0,
+        tombstones=None,
+        bloom_fp_rate: float = 0.01,
+        index_interval: int = DEFAULT_INDEX_INTERVAL,
+    ) -> "SSTable":
+        """Build a table from int64 columns without creating records.
+
+        ``keys`` must be strictly ascending; ``value_sizes`` may be a
+        scalar applied to every entry; ``tombstones`` is an optional
+        boolean mask.  Requires numpy.
+        """
+        if _np is None:  # pragma: no cover - callers gate on numpy
+            raise StorageError("SSTable.from_columns requires numpy")
+        keys = _np.asarray(keys, dtype=_np.int64)
+        if keys.size == 0:
+            raise StorageError(f"sstable {table_id} must contain at least one record")
+        if keys.size > 1 and not bool((keys[1:] > keys[:-1]).all()):
+            raise StorageError(
+                f"sstable {table_id} records must be strictly sorted by key"
+            )
+        seqnos = _np.asarray(seqnos, dtype=_np.int64)
+        if seqnos.shape != keys.shape:
+            raise StorageError("seqno column must match the key column")
+        if _np.isscalar(value_sizes) or getattr(value_sizes, "ndim", 1) == 0:
+            value_column = _np.full(keys.shape, int(value_sizes), dtype=_np.int64)
+        else:
+            value_column = _np.asarray(value_sizes, dtype=_np.int64)
+            if value_column.shape != keys.shape:
+                raise StorageError("value_size column must match the key column")
+        if tombstones is not None:
+            tombstones = _np.asarray(tombstones, dtype=bool)
+            if tombstones.shape != keys.shape:
+                raise StorageError("tombstone column must match the key column")
+            if not tombstones.any():
+                tombstones = None
+        table = cls.__new__(cls)
+        table._columns = TableColumns(keys, seqnos, value_column, tombstones)
+        table._init_common(
+            table_id,
+            int(keys.size),
+            int(keys[0]),
+            int(keys[-1]),
+            bloom_fp_rate,
+            index_interval,
+        )
+        return table
+
+    #: Record-backed tables set this in ``columns()`` on first use.
+    _columns: Optional[TableColumns] = None
+    _columns_built = False
+
+    def columns(self) -> Optional[TableColumns]:
+        """The table's int64 column view, or ``None`` if unrepresentable.
+
+        Column-backed tables return their native columns; record-backed
+        tables build (and cache) a view when numpy is available, every
+        key is a plain int and no record carries payload bytes.  The
+        columnar merge kernel applies exactly when all inputs return a
+        view.
+        """
+        if self._columns is not None or self._columns_built:
+            return self._columns
+        self._columns_built = True
+        if _np is None:
+            return None
+        records = self.records
+        keys = self._keys
+        # bool is an int subclass with different hashing; keep it off
+        # the columnar path like hash_keys_u64 does.
+        if not set(map(type, keys)) <= {int}:
+            return None
+        if any(record.value is not None for record in records):
+            return None
+        count = len(records)
+        try:
+            key_column = _np.array(keys, dtype=_np.int64)
+        except (OverflowError, ValueError):  # keys beyond int64
+            return None
+        seqnos = _np.fromiter(
+            (record.seqno for record in records), dtype=_np.int64, count=count
+        )
+        value_sizes = _np.fromiter(
+            (record.value_size for record in records), dtype=_np.int64, count=count
+        )
+        tombstones = None
+        if any(record.tombstone for record in records):
+            tombstones = _np.fromiter(
+                (record.tombstone for record in records), dtype=bool, count=count
+            )
+        self._columns = TableColumns(key_column, seqnos, value_sizes, tombstones)
+        return self._columns
+
+    @cached_property
+    def records(self) -> tuple[Record, ...]:  # type: ignore[no-redef]
+        """The table's records, materialized lazily for columnar tables."""
+        columns = self._columns
+        tombstones = (
+            columns.tombstones.tolist()
+            if columns.tombstones is not None
+            else [False] * self._entry_count
+        )
+        return tuple(
+            Record(key=key, seqno=seqno, value_size=value_size, tombstone=tombstone)
+            for key, seqno, value_size, tombstone in zip(
+                columns.keys.tolist(),
+                columns.seqnos.tolist(),
+                columns.value_sizes.tolist(),
+                tombstones,
+            )
+        )
+
+    @cached_property
+    def _keys(self) -> list:  # type: ignore[no-redef]
+        return self._columns.keys.tolist()
 
     # ------------------------------------------------------------------
     # Read-path accelerators (built lazily: compaction intermediates are
@@ -81,10 +254,10 @@ class SSTable:
     # ------------------------------------------------------------------
     @property
     def entry_count(self) -> int:
-        return len(self.records)
+        return self._entry_count
 
     def __len__(self) -> int:
-        return len(self.records)
+        return self._entry_count
 
     def __iter__(self) -> Iterator[Record]:
         return iter(self.records)
@@ -92,6 +265,12 @@ class SSTable:
     @cached_property
     def size_bytes(self) -> int:
         """Total on-disk footprint of the data block."""
+        columns = self._columns
+        if columns is not None:
+            # int keys contribute no key bytes (Record.size_bytes).
+            return ENTRY_OVERHEAD_BYTES * self._entry_count + int(
+                columns.value_sizes.sum()
+            )
         return sum(record.size_bytes for record in self.records)
 
     @cached_property
@@ -102,16 +281,26 @@ class SSTable:
     @cached_property
     def live_key_count(self) -> int:
         """Keys whose newest record here is not a tombstone."""
+        columns = self._columns
+        if columns is not None:
+            dead = 0 if columns.tombstones is None else int(columns.tombstones.sum())
+            return self._entry_count - dead
         return sum(1 for record in self.records if not record.tombstone)
 
     @cached_property
     def max_seqno(self) -> int:
         """Newest sequence number in the table (recency for DTCS)."""
+        columns = self._columns
+        if columns is not None:
+            return int(columns.seqnos.max())
         return max(record.seqno for record in self.records)
 
     @cached_property
     def min_seqno(self) -> int:
         """Oldest sequence number in the table."""
+        columns = self._columns
+        if columns is not None:
+            return int(columns.seqnos.min())
         return min(record.seqno for record in self.records)
 
     def key_range_overlaps(self, other: "SSTable") -> bool:
@@ -157,7 +346,7 @@ class SSTable:
     @cached_property
     def has_tombstones(self) -> bool:
         """True when any record is a deletion marker."""
-        return self.live_key_count != len(self.records)
+        return self.live_key_count != self._entry_count
 
     # ------------------------------------------------------------------
     # Reads
@@ -196,22 +385,121 @@ class SSTable:
         )
 
 
+def _merge_columnar(
+    columns: Sequence[TableColumns],
+    new_table_id: int,
+    drop_tombstones: bool,
+    bloom_fp_rate: float,
+) -> SSTable:
+    """Sorted-array merge: concatenate, lexsort, keep the newest per key.
+
+    Bit-identical to the heap kernel: the survivor per key is the record
+    with the highest seqno, and should two inputs ever carry the *same*
+    (key, seqno) the earliest input wins — ``heapq.merge`` is stable, so
+    the negated stream index reproduces its tie-break exactly.
+    """
+    keys = _np.concatenate([column.keys for column in columns])
+    seqnos = _np.concatenate([column.seqnos for column in columns])
+    value_sizes = _np.concatenate([column.value_sizes for column in columns])
+    any_tombstones = any(column.tombstones is not None for column in columns)
+    tombstones = None
+    if any_tombstones:
+        tombstones = _np.concatenate(
+            [
+                column.tombstones
+                if column.tombstones is not None
+                else _np.zeros(column.keys.shape, dtype=bool)
+                for column in columns
+            ]
+        )
+    streams = _np.repeat(
+        _np.arange(len(columns), dtype=_np.int64),
+        [column.keys.size for column in columns],
+    )
+    order = _np.lexsort((-streams, seqnos, keys))
+    sorted_keys = keys[order]
+    newest = _np.empty(sorted_keys.shape, dtype=bool)
+    newest[:-1] = sorted_keys[1:] != sorted_keys[:-1]
+    newest[-1] = True
+    survivors = order[newest]
+    out_keys = sorted_keys[newest]
+    out_seqnos = seqnos[survivors]
+    out_values = value_sizes[survivors]
+    out_tombstones = tombstones[survivors] if tombstones is not None else None
+
+    if drop_tombstones and out_tombstones is not None:
+        live = ~out_tombstones
+        if not live.any():
+            # Everything was tombstoned away; keep the single newest
+            # record so the table remains representable (argmax returns
+            # the first maximum — the same record the heap kernel keeps).
+            index = int(_np.argmax(seqnos))
+            return SSTable.from_columns(
+                new_table_id,
+                keys[index : index + 1],
+                seqnos[index : index + 1],
+                value_sizes[index : index + 1],
+                _np.ones(1, dtype=bool),
+                bloom_fp_rate=bloom_fp_rate,
+            )
+        out_keys = out_keys[live]
+        out_seqnos = out_seqnos[live]
+        out_values = out_values[live]
+        out_tombstones = None
+
+    return SSTable.from_columns(
+        new_table_id,
+        out_keys,
+        out_seqnos,
+        out_values,
+        out_tombstones,
+        bloom_fp_rate=bloom_fp_rate,
+    )
+
+
 def merge_sstables(
     tables: Sequence[SSTable],
     new_table_id: int,
     drop_tombstones: bool = False,
     bloom_fp_rate: float = 0.01,
+    kernel: str = "auto",
 ) -> SSTable:
     """K-way merge-sort of sstables, keeping the newest record per key.
 
     ``drop_tombstones=True`` additionally garbage-collects deletions —
     only valid when the output is the bottommost table for its keys
     (e.g. the final output of a major compaction).
+
+    ``kernel`` selects the merge implementation: ``"auto"`` (columnar
+    whenever every input exposes int64 columns and numpy is available,
+    heap otherwise), ``"columnar"`` (force; raises when unavailable) or
+    ``"heap"`` (the reference).  Both kernels produce bit-identical
+    tables.
     """
+    if kernel not in MERGE_KERNELS:
+        raise StorageError(
+            f"unknown merge kernel {kernel!r}; available: {MERGE_KERNELS}"
+        )
     if not tables:
         raise StorageError("cannot merge zero sstables")
     if len(tables) == 1 and not drop_tombstones:
         return tables[0]
+
+    if kernel != "heap":
+        columns = (
+            [table.columns() for table in tables] if _np is not None else None
+        )
+        if columns is not None and all(
+            column is not None for column in columns
+        ):
+            return _merge_columnar(
+                columns, new_table_id, drop_tombstones, bloom_fp_rate
+            )
+        if kernel == "columnar":
+            raise StorageError(
+                "columnar merge kernel requires numpy and int64-representable "
+                "tables (plain int keys, no payload bytes)"
+            )
 
     # K-way merge of the sorted runs.  heapq.merge keeps the heap logic
     # in C; the (key, -seqno) sort key pops equal keys newest-first so

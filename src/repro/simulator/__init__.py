@@ -10,7 +10,13 @@ regenerate the paper's figures.
 
 from .config import SimulationConfig
 from .metrics import AggregateResult, StrategyResult, aggregate
-from .phase1 import Phase1Result, generate_sstables
+from .phase1 import (
+    Phase1Result,
+    fast_plane_eligible,
+    generate_sstables,
+    generate_sstables_fast,
+    generate_sstables_reference,
+)
 from .phase2 import (
     PAPER_STRATEGIES,
     build_strategy,
@@ -38,7 +44,10 @@ __all__ = [
     "SweepResult",
     "aggregate",
     "build_strategy",
+    "fast_plane_eligible",
     "generate_sstables",
+    "generate_sstables_fast",
+    "generate_sstables_reference",
     "run_comparison",
     "run_strategy",
     "strategy_labels",

@@ -37,6 +37,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--runs", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the independent runs "
+        "(results are byte-identical for any value)",
+    )
+    parser.add_argument(
+        "--data-plane",
+        default="auto",
+        choices=["auto", "fast", "reference"],
+        help="simulator data plane (see docs/simulator.md)",
+    )
+    parser.add_argument(
         "--strategies",
         default=",".join(strategy_labels()),
         help="comma-separated labels (SI,SO,BT(I),BT(O),RANDOM,LM,SO(exact))",
@@ -51,9 +64,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         update_fraction=args.update_fraction,
         k=args.k,
         seed=args.seed,
+        data_plane=args.data_plane,
     )
     labels = tuple(label.strip() for label in args.strategies.split(",") if label.strip())
-    comparison = run_comparison(config, labels, runs=args.runs)
+    comparison = run_comparison(config, labels, runs=args.runs, jobs=args.jobs)
 
     rows = []
     for label in labels:

@@ -49,6 +49,13 @@ class SimulationConfig:
     # "SO" and "BT(O)" labels): "hll" is the paper's practical scheme,
     # "exact" the reference.  "SO(exact)" ignores this and stays exact.
     estimator: str = "hll"
+    # Simulator data plane.  "auto" runs phase 1 through the batched
+    # columnar pipeline and compaction merges through the columnar
+    # kernel whenever the configuration allows it (bit-identical to the
+    # reference; see docs/simulator.md), "fast" requires it (raising on
+    # ineligible configs), "reference" forces the operation-at-a-time
+    # engine loop and the heap merge kernel.
+    data_plane: str = "auto"
 
     def __post_init__(self) -> None:
         # Normalize + validate the backend/estimator names eagerly so a
@@ -72,6 +79,11 @@ class SimulationConfig:
             raise ConfigError(
                 f"hll_precision must be in [{MIN_PRECISION}, {MAX_PRECISION}], "
                 f"got {self.hll_precision}"
+            )
+        if self.data_plane not in ("auto", "fast", "reference"):
+            raise ConfigError(
+                f"data_plane must be 'auto', 'fast' or 'reference', "
+                f"got {self.data_plane!r}"
             )
         if not 0.0 <= self.update_fraction <= 1.0:
             raise ConfigError("update_fraction must be in [0, 1]")

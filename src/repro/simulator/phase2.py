@@ -75,6 +75,10 @@ def build_strategy(
         seed=seed if seed is not None else config.seed,
         backend=config.backend,
         estimator=estimator,
+        # The reference data plane pins the heap merge kernel so the
+        # differential harness can time/compare the pre-vectorization
+        # path end to end; the kernels are bit-identical either way.
+        merge_kernel="heap" if config.data_plane == "reference" else "auto",
         **kwargs,
     )
 

@@ -12,13 +12,28 @@ Sweeps correspond one-to-one to the figures:
 * :func:`sweep_memtable_capacity` — Figure 8: vary memtable size with a
   fixed number of sstables.
 * :func:`sweep_operationcount` — Figure 9b: vary the data size.
+
+Parallelism
+-----------
+Every sweep (and :func:`run_comparison`) accepts ``jobs``: the
+independent *(point, run)* cells fan out over a
+``concurrent.futures.ProcessPoolExecutor``.  A cell is one seeded
+phase 1 plus phase 2 for every strategy label — the whole unit the
+paired comparison needs — and its seed is derived from the cell's
+configuration alone (``config.seed + run_index``), never from
+scheduling order.  Cells are reassembled in submission order, so all
+deterministic outputs (costs, simulated seconds, byte counts, figure
+tables) are byte-identical for any job count; only the wall-clock
+overhead columns vary, exactly as they do between two serial runs.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from ..errors import ConfigError
 from .config import SimulationConfig
 from .metrics import AggregateResult, StrategyResult, aggregate
 from .phase1 import generate_sstables
@@ -59,28 +74,95 @@ class SweepResult:
         ]
 
 
+def _comparison_cell(
+    config: SimulationConfig,
+    labels: tuple[str, ...],
+    run_index: int,
+) -> dict[str, StrategyResult]:
+    """One (point, run) unit of work: phase 1 + phase 2 for every label.
+
+    Module-level so worker processes can import it; deterministic given
+    its arguments, which is what makes ``jobs`` invisible in the
+    results.
+    """
+    run_config = config.with_seed(config.seed + run_index)
+    phase1 = generate_sstables(run_config)
+    return {
+        label: run_strategy(phase1.tables, label, run_config, seed=run_config.seed)
+        for label in labels
+    }
+
+
+def _run_cells(
+    cells: Sequence[tuple[SimulationConfig, tuple[str, ...], int]],
+    jobs: int,
+) -> list[dict[str, StrategyResult]]:
+    """Evaluate comparison cells serially or on a process pool.
+
+    Results come back in ``cells`` order either way.
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(cells) <= 1:
+        return [_comparison_cell(*cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        return list(pool.map(_comparison_cell, *zip(*cells)))
+
+
+def _comparison_from_cells(
+    config: SimulationConfig,
+    labels: tuple[str, ...],
+    cell_results: Sequence[dict[str, StrategyResult]],
+) -> ComparisonResult:
+    return ComparisonResult(
+        config=config,
+        per_strategy={
+            label: aggregate([cell[label] for cell in cell_results])
+            for label in labels
+        },
+        runs=len(cell_results),
+    )
+
+
 def run_comparison(
     config: SimulationConfig,
     labels: Sequence[str] | None = None,
     runs: int = 3,
+    jobs: int = 1,
 ) -> ComparisonResult:
     """Phase 1 + phase 2 for every label, over ``runs`` seeds."""
     labels = tuple(labels) if labels is not None else strategy_labels()
-    collected: dict[str, list[StrategyResult]] = {label: [] for label in labels}
-    for run_index in range(runs):
-        run_config = config.with_seed(config.seed + run_index)
-        phase1 = generate_sstables(run_config)
-        for label in labels:
-            collected[label].append(
-                run_strategy(
-                    phase1.tables, label, run_config, seed=run_config.seed
-                )
-            )
-    return ComparisonResult(
-        config=config,
-        per_strategy={label: aggregate(results) for label, results in collected.items()},
-        runs=runs,
-    )
+    cells = [(config, labels, run_index) for run_index in range(runs)]
+    return _comparison_from_cells(config, labels, _run_cells(cells, jobs))
+
+
+def _sweep(
+    parameter: str,
+    points: Sequence[tuple[float, SimulationConfig]],
+    labels: tuple[str, ...],
+    runs: int,
+    jobs: int,
+) -> SweepResult:
+    """Evaluate every (point, run) cell of a sweep, fanned out together.
+
+    Parallelizing at the sweep level (rather than per point) keeps all
+    ``jobs`` workers busy across point boundaries.
+    """
+    cells = [
+        (config, labels, run_index)
+        for _, config in points
+        for run_index in range(runs)
+    ]
+    cell_results = _run_cells(cells, jobs)
+    sweep_points = []
+    for index, (x, config) in enumerate(points):
+        comparison = _comparison_from_cells(
+            config, labels, cell_results[index * runs : (index + 1) * runs]
+        )
+        sweep_points.append(
+            SweepPoint(x=x, config=config, per_strategy=comparison.per_strategy)
+        )
+    return SweepResult(parameter, tuple(sweep_points), labels)
 
 
 def sweep_update_fraction(
@@ -88,17 +170,15 @@ def sweep_update_fraction(
     fractions: Sequence[float],
     labels: Sequence[str] | None = None,
     runs: int = 3,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 7's x-axis: update percentage of the write mix."""
     labels = tuple(labels) if labels is not None else strategy_labels()
-    points = []
-    for fraction in fractions:
-        config = replace(base, update_fraction=fraction)
-        comparison = run_comparison(config, labels, runs)
-        points.append(
-            SweepPoint(x=fraction * 100.0, config=config, per_strategy=comparison.per_strategy)
-        )
-    return SweepResult("update_percentage", tuple(points), labels)
+    points = [
+        (fraction * 100.0, replace(base, update_fraction=fraction))
+        for fraction in fractions
+    ]
+    return _sweep("update_percentage", points, labels, runs, jobs)
 
 
 def sweep_memtable_capacity(
@@ -109,6 +189,7 @@ def sweep_memtable_capacity(
     distribution: str = "latest",
     seed: int = 0,
     backend: str | None = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 8's x-axis: memtable size with a fixed sstable count.
 
@@ -125,11 +206,8 @@ def sweep_memtable_capacity(
         )
         if backend is not None:
             config = replace(config, backend=backend)
-        comparison = run_comparison(config, labels, runs)
-        points.append(
-            SweepPoint(x=float(capacity), config=config, per_strategy=comparison.per_strategy)
-        )
-    return SweepResult("memtable_capacity", tuple(points), labels)
+        points.append((float(capacity), config))
+    return _sweep("memtable_capacity", points, labels, runs, jobs)
 
 
 def sweep_operationcount(
@@ -137,14 +215,11 @@ def sweep_operationcount(
     counts: Sequence[int],
     labels: Sequence[str] | None = None,
     runs: int = 3,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 9b's x-axis: number of run-phase operations (data size)."""
     labels = tuple(labels) if labels is not None else ("SI",)
-    points = []
-    for count in counts:
-        config = replace(base, operationcount=count)
-        comparison = run_comparison(config, labels, runs)
-        points.append(
-            SweepPoint(x=float(count), config=config, per_strategy=comparison.per_strategy)
-        )
-    return SweepResult("operationcount", tuple(points), labels)
+    points = [
+        (float(count), replace(base, operationcount=count)) for count in counts
+    ]
+    return _sweep("operationcount", points, labels, runs, jobs)

@@ -18,17 +18,45 @@ space) — YCSB's default for read/update choosers.
 Every chooser draws from ``[0, item_count)`` where ``item_count`` is
 passed per call, because the run phase inserts new records and the
 choosers must track the growing key space.
+
+Batch API
+---------
+:meth:`KeyChooser.next_batch` draws one key per entry of an
+``item_counts`` sequence and is **bit-identical** to the equivalent loop
+of scalar :meth:`KeyChooser.next` calls: it consumes the ``rng`` stream
+in exactly the same order, so swapping a per-operation loop for a batch
+call never changes a simulated workload.  The Gray-sampling choosers
+(zipfian, scrambled zipfian, latest) vectorize their inverse-CDF
+transform with numpy when it is available and fall back to the scalar
+arithmetic otherwise — both paths produce the same keys bit for bit.
+``pow`` stays in scalar Python even on the numpy path because numpy's
+SIMD ``power`` kernels are not bit-identical to libm's ``pow``; IEEE-754
+defines add/mul/div exactly, so everything else vectorizes safely.
+Rejection-sampled choosers (uniform, hotspot) consume a data-dependent
+number of ``getrandbits`` draws per key, which cannot be vectorized
+without changing the stream; their batch path replays the scalar calls.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 from ..errors import WorkloadError
 from ..hll.hashing import splitmix64
 
+try:  # optional acceleration; every batch kernel has a pure fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
 DEFAULT_ZIPFIAN_THETA = 0.99
+
+#: Marginal zeta extensions shorter than this stay in the scalar loop —
+#: run-phase inserts grow the key space one key at a time and a numpy
+#: round-trip per single term would be slower than the arithmetic.
+_ZETA_VECTOR_MIN = 32
 
 
 class KeyChooser(ABC):
@@ -40,13 +68,26 @@ class KeyChooser(ABC):
     def next(self, rng: random.Random, item_count: int) -> int:
         """Draw the next key index given the current key-space size."""
 
+    def next_batch(self, rng: random.Random, item_counts: Sequence[int]) -> Sequence[int]:
+        """One key per entry of ``item_counts``.
+
+        Bit-identical to ``[self.next(rng, count) for count in
+        item_counts]`` — subclasses that override this must preserve both
+        the values and the ``rng`` consumption order of the scalar loop.
+        """
+        return [self.next(rng, count) for count in item_counts]
+
     def _check(self, item_count: int) -> None:
         if item_count < 1:
             raise WorkloadError("item_count must be at least 1")
 
 
 class UniformChooser(KeyChooser):
-    """Uniform over all inserted keys."""
+    """Uniform over all inserted keys.
+
+    ``randrange`` rejection-samples ``getrandbits`` draws, so the batch
+    path (inherited) replays the scalar calls; see the module docstring.
+    """
 
     name = "uniform"
 
@@ -60,7 +101,9 @@ class ZipfianChooser(KeyChooser):
 
     Key ``0`` is the most popular.  ``zeta(n, theta)`` is maintained
     incrementally so that growing ``item_count`` (run-phase inserts)
-    costs only the marginal terms.
+    costs only the marginal terms; the marginal-terms sum is
+    numpy-vectorized for large extensions (a fresh chooser's first draw
+    at paper scale) with a bit-identical sequential accumulation.
     """
 
     name = "zipfian"
@@ -73,16 +116,60 @@ class ZipfianChooser(KeyChooser):
         self._zetan = 0.0
         self._zeta2 = 2.0 ** -theta + 1.0  # zeta(2, theta) = 1 + 1/2^theta
         self._alpha = 1.0 / (1.0 - theta)
+        self._second_cut = 1.0 + 0.5**theta  # uz below this => key 1
+
+    # ------------------------------------------------------------------
+    # zeta(n, theta) maintenance
+    # ------------------------------------------------------------------
+    def _marginal_accumulation(self, item_count: int) -> "_np.ndarray":
+        """``zeta`` after 0, 1, ..., ``item_count - self._n`` marginal terms.
+
+        ``np.add.accumulate`` applies the additions strictly sequentially
+        and the base value is prepended before accumulating, so every
+        partial sum is bit-identical to the scalar ``+=`` loop.  The
+        ``i ** theta`` terms stay in scalar Python (see module
+        docstring); only the reciprocal and the running sum vectorize.
+        """
+        theta = self.theta
+        terms = 1.0 / _np.array(
+            [i**theta for i in range(self._n + 1, item_count + 1)],
+            dtype=_np.float64,
+        )
+        return _np.add.accumulate(_np.concatenate(((self._zetan,), terms)))
 
     def _extend_zeta(self, item_count: int) -> None:
         if item_count < self._n:
             # Key spaces never shrink in YCSB; recompute defensively.
             self._n = 0
             self._zetan = 0.0
-        theta = self.theta
-        for i in range(self._n + 1, item_count + 1):
-            self._zetan += 1.0 / (i**theta)
+        if _np is not None and item_count - self._n >= _ZETA_VECTOR_MIN:
+            self._zetan = float(self._marginal_accumulation(item_count)[-1])
+        else:
+            theta = self.theta
+            for i in range(self._n + 1, item_count + 1):
+                self._zetan += 1.0 / (i**theta)
         self._n = item_count
+
+    # ------------------------------------------------------------------
+    # Gray's inverse-CDF transform (shared by next / decode_batch)
+    # ------------------------------------------------------------------
+    def _eta(self, item_count: int, zetan: float) -> float:
+        return (1.0 - (2.0 / item_count) ** (1.0 - self.theta)) / (
+            1.0 - self._zeta2 / zetan
+        )
+
+    def _decode(self, u: float, item_count: int, zetan: float) -> int:
+        uz = u * zetan
+        if uz < 1.0:
+            return 0
+        if uz < self._second_cut:
+            return 1
+        # eta is only needed past the head cuts, and for item_count == 2
+        # those cuts cover the whole range (zeta(2) == the second cut),
+        # so computing it lazily keeps the 0/0 out of reach there.
+        eta = self._eta(item_count, zetan)
+        value = int(item_count * (eta * u - eta + 1.0) ** self._alpha)
+        return min(value, item_count - 1)
 
     def next(self, rng: random.Random, item_count: int) -> int:
         self._check(item_count)
@@ -90,19 +177,103 @@ class ZipfianChooser(KeyChooser):
             return 0
         if item_count != self._n:
             self._extend_zeta(item_count)
-        zetan = self._zetan
-        theta = self.theta
-        eta = (1.0 - (2.0 / item_count) ** (1.0 - theta)) / (
-            1.0 - self._zeta2 / zetan
-        )
-        u = rng.random()
-        uz = u * zetan
-        if uz < 1.0:
-            return 0
-        if uz < 1.0 + 0.5**theta:
-            return 1
-        value = int(item_count * (eta * u - eta + 1.0) ** self._alpha)
-        return min(value, item_count - 1)
+        return self._decode(rng.random(), item_count, self._zetan)
+
+    # ------------------------------------------------------------------
+    # Batch API
+    # ------------------------------------------------------------------
+    def next_batch(self, rng: random.Random, item_counts: Sequence[int]) -> Sequence[int]:
+        counts = [int(count) for count in item_counts]
+        for count in counts:
+            self._check(count)
+        # item_count == 1 returns 0 without consuming the rng.
+        us = [rng.random() for count in counts if count > 1]
+        if len(us) == len(counts):
+            return self.decode_batch(us, counts)
+        decoded = iter(self.decode_batch(us, [c for c in counts if c > 1]))
+        out = [0 if count == 1 else int(next(decoded)) for count in counts]
+        if _np is not None:
+            return _np.array(out, dtype=_np.int64)
+        return out
+
+    def decode_batch(
+        self, us: Sequence[float], item_counts: Sequence[int]
+    ) -> Sequence[int]:
+        """Keys for pre-drawn uniform variates (all ``item_counts > 1``).
+
+        ``us[i]`` must be the ``rng.random()`` value :meth:`next` would
+        have drawn for ``item_counts[i]``; callers that interleave other
+        rng draws (the workload's operation chooser) collect the variates
+        themselves and decode here in one vectorized pass.  Updates the
+        incremental zeta state exactly as the scalar calls would.
+        """
+        counts = [int(count) for count in item_counts]
+        if len(us) != len(counts):
+            raise WorkloadError("decode_batch needs one variate per item count")
+        for count in counts:
+            if count < 2:
+                raise WorkloadError("decode_batch requires item counts > 1")
+        if not counts:
+            return _np.empty(0, dtype=_np.int64) if _np is not None else []
+        if _np is None:
+            out = []
+            for u, count in zip(us, counts):
+                if count != self._n:
+                    self._extend_zeta(count)
+                out.append(self._decode(u, count, self._zetan))
+            return out
+        return self._decode_batch_np(us, counts)
+
+    def _decode_batch_np(self, us: Sequence[float], counts: list[int]) -> "_np.ndarray":
+        counts_arr = _np.asarray(counts, dtype=_np.int64)
+        ucounts, inverse = _np.unique(counts_arr, return_inverse=True)
+        smallest = int(ucounts[0])
+        if smallest < self._n:
+            # Defensive shrink (scalar resets and recomputes from zero).
+            # zeta(n) is history-independent bit for bit — every path is
+            # the same sequential sum over 1..n — so restarting from
+            # scratch reproduces the scalar values.
+            self._n = 0
+            self._zetan = 0.0
+        base_n = self._n
+        accumulation = self._marginal_accumulation(int(ucounts[-1]))
+        zeta_at = accumulation[ucounts - base_n]
+        u_arr = _np.asarray(us, dtype=_np.float64)
+        zetan_arr = zeta_at[inverse]
+        uz = u_arr * zetan_arr
+        out = _np.zeros(len(counts), dtype=_np.int64)
+        out[(uz >= 1.0) & (uz < self._second_cut)] = 1
+        tail = _np.nonzero(uz >= self._second_cut)[0]
+        if tail.size:
+            # eta per *distinct* key-space size actually reaching the
+            # tail branch, in scalar Python: the two pow calls per size
+            # are exactly the scalar path's arithmetic (and sizes whose
+            # draws all land in the head cuts — item_count == 2 always
+            # does — never evaluate the 0/0-prone expression, matching
+            # the lazy scalar _decode).
+            tail_index = inverse[tail]
+            eta_by_index = {
+                index: self._eta(int(ucounts[index]), float(zeta_at[index]))
+                for index in _np.unique(tail_index).tolist()
+            }
+            eta_t = _np.array(
+                [eta_by_index[index] for index in tail_index.tolist()],
+                dtype=_np.float64,
+            )
+            base_t = eta_t * u_arr[tail] - eta_t + 1.0
+            alpha = self._alpha
+            powed = _np.array(
+                [x**alpha for x in base_t.tolist()], dtype=_np.float64
+            )
+            n_float = counts_arr[tail].astype(_np.float64)
+            # Cap in float *before* the int cast (mirrors scalar int() +
+            # min(), and keeps huge intermediates off the int64 cast).
+            value = _np.minimum(n_float * powed, n_float).astype(_np.int64)
+            out[tail] = _np.minimum(value, counts_arr[tail] - 1)
+        last = counts[-1]
+        self._n = last
+        self._zetan = float(accumulation[last - base_n])
+        return out
 
 
 class ScrambledZipfianChooser(KeyChooser):
@@ -124,6 +295,30 @@ class ScrambledZipfianChooser(KeyChooser):
         rank = self._zipfian.next(rng, item_count)
         return splitmix64(rank ^ self._salt) % item_count
 
+    def _scramble(self, ranks: Sequence[int], counts: Sequence[int]) -> Sequence[int]:
+        if _np is not None:
+            from ..hll.hashing import _splitmix64_u64
+
+            rank_arr = _np.asarray(ranks).astype(_np.uint64)
+            with _np.errstate(over="ignore"):
+                hashed = _splitmix64_u64(rank_arr ^ _np.uint64(self._salt))
+                scattered = hashed % _np.asarray(counts, dtype=_np.uint64)
+            return scattered.astype(_np.int64)
+        salt = self._salt
+        return [
+            splitmix64(rank ^ salt) % count for rank, count in zip(ranks, counts)
+        ]
+
+    def next_batch(self, rng: random.Random, item_counts: Sequence[int]) -> Sequence[int]:
+        counts = [int(count) for count in item_counts]
+        return self._scramble(self._zipfian.next_batch(rng, counts), counts)
+
+    def decode_batch(
+        self, us: Sequence[float], item_counts: Sequence[int]
+    ) -> Sequence[int]:
+        counts = [int(count) for count in item_counts]
+        return self._scramble(self._zipfian.decode_batch(us, counts), counts)
+
 
 class LatestChooser(KeyChooser):
     """YCSB's ``SkewedLatestGenerator``: newest keys are most popular."""
@@ -137,6 +332,22 @@ class LatestChooser(KeyChooser):
         self._check(item_count)
         offset = self._zipfian.next(rng, item_count)
         return item_count - 1 - offset
+
+    @staticmethod
+    def _recency(ranks: Sequence[int], counts: Sequence[int]) -> Sequence[int]:
+        if _np is not None:
+            return _np.asarray(counts, dtype=_np.int64) - 1 - _np.asarray(ranks)
+        return [count - 1 - rank for rank, count in zip(ranks, counts)]
+
+    def next_batch(self, rng: random.Random, item_counts: Sequence[int]) -> Sequence[int]:
+        counts = [int(count) for count in item_counts]
+        return self._recency(self._zipfian.next_batch(rng, counts), counts)
+
+    def decode_batch(
+        self, us: Sequence[float], item_counts: Sequence[int]
+    ) -> Sequence[int]:
+        counts = [int(count) for count in item_counts]
+        return self._recency(self._zipfian.decode_batch(us, counts), counts)
 
 
 class HotspotChooser(KeyChooser):

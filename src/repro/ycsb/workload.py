@@ -21,11 +21,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Hashable, Iterator
+from functools import cached_property
+from typing import Hashable, Iterator, Sequence
 
 from ..errors import WorkloadError
 from .distributions import DEFAULT_ZIPFIAN_THETA, KeyChooser, make_chooser
 from .operations import Operation, OperationType
+
+try:  # optional acceleration for the columnar write stream
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
 
 
 @dataclass(frozen=True)
@@ -112,14 +118,30 @@ class _DiscreteChooser:
         ]
         return cls(choices=pairs, total=sum(weight for _, weight in pairs))
 
-    def next(self, rng: random.Random) -> OperationType:
-        point = rng.random() * self.total
+    @cached_property
+    def cuts(self) -> tuple[tuple[float, OperationType], ...]:
+        """Cumulative thresholds, accumulated sequentially.
+
+        The single source of truth for the point -> type mapping: both
+        :meth:`next` and the workload's columnar write stream classify
+        against these cuts, so the two paths cannot drift apart.
+        """
         accumulated = 0.0
+        cuts = []
         for op, weight in self.choices:
             accumulated += weight
-            if point < accumulated:
+            cuts.append((accumulated, op))
+        return tuple(cuts)
+
+    def pick(self, point: float) -> OperationType:
+        for cut, op in self.cuts:
+            if point < cut:
                 return op
+        # Float edge: point rounded up to the total; keep the last type.
         return self.choices[-1][0]
+
+    def next(self, rng: random.Random) -> OperationType:
+        return self.pick(rng.random() * self.total)
 
 
 class CoreWorkload:
@@ -187,3 +209,101 @@ class CoreWorkload:
         """Load phase followed by run phase."""
         yield from self.load_operations()
         yield from self.run_operations()
+
+    # ------------------------------------------------------------------
+    # Columnar write stream (the simulator's batched data plane)
+    # ------------------------------------------------------------------
+    def supports_write_stream(self) -> bool:
+        """True when :meth:`write_stream_columns` can replace the op loop.
+
+        Requires a writes-only mix (reads consume no rng draws they
+        don't, but scans draw a scan length — any read/scan proportion
+        forces the reference loop) and the identity ``key_name`` (a
+        subclass mapping keynums to other values needs ``Operation``
+        objects).
+        """
+        return (
+            self.config.read_proportion == 0.0
+            and self.config.scan_proportion == 0.0
+            and self.__class__.key_name is CoreWorkload.key_name
+        )
+
+    def write_stream_columns(self) -> tuple[Sequence[int], list[int]]:
+        """Load + run phases as flat key columns, no ``Operation`` objects.
+
+        Returns ``(keynums, tombstone_positions)`` where ``keynums[i]``
+        is the key of the ``i``-th write (seqno ``i + 1``) and
+        ``tombstone_positions`` lists the indices that are deletes.
+        Consumes the workload rng **exactly** like
+        :meth:`all_operations`: one op-type draw per run operation, then
+        the chooser's draws for non-inserts — so the resulting sstables
+        are bit-identical to the operation-at-a-time path.  Key draws
+        for the Gray-sampling choosers are collected as raw variates and
+        decoded in one vectorized ``decode_batch`` call at the end.
+        """
+        if not self.supports_write_stream():
+            raise WorkloadError(
+                "write_stream_columns requires a writes-only mix and the "
+                "identity key_name; use all_operations instead"
+            )
+        config = self.config
+        n_load = config.recordcount
+        opcount = config.operationcount
+        keynums: list[int] = list(range(n_load))
+        self._inserted += n_load
+
+        # Classify against _DiscreteChooser's own cuts (shared with its
+        # next()); the for/else below inlines pick() for the hot loop,
+        # including its last-choice fallback for points that round up
+        # to the total.
+        cuts = self._op_chooser.cuts
+        last_type = self._op_chooser.choices[-1][0]
+        total = self._op_chooser.total
+
+        rnd = self._rng.random
+        chooser = self._chooser
+        decode = getattr(chooser, "decode_batch", None)
+        pending_at: list[int] = []
+        pending_us: list[float] = []
+        pending_counts: list[int] = []
+        tombstone_positions: list[int] = []
+        inserted = self._inserted
+        insert_type = OperationType.INSERT
+        delete_type = OperationType.DELETE
+        append = keynums.append
+        for _ in range(opcount):
+            point = rnd() * total
+            for cut, op_type in cuts:
+                if point < cut:
+                    break
+            else:  # pragma: no cover - float edge, matches pick()
+                op_type = last_type
+            if op_type is insert_type:
+                append(inserted)
+                inserted += 1
+                continue
+            if decode is None:
+                append(chooser.next(self._rng, inserted))
+            elif inserted == 1:
+                # All Gray-sampling choosers return key 0 for a
+                # single-key space without consuming the rng.
+                append(0)
+            else:
+                pending_at.append(len(keynums))
+                pending_us.append(rnd())
+                pending_counts.append(inserted)
+                append(0)  # placeholder, decoded below
+            if op_type is delete_type:
+                tombstone_positions.append(len(keynums) - 1)
+        self._inserted = inserted
+
+        if not pending_at:
+            return keynums, tombstone_positions
+        decoded = decode(pending_us, pending_counts)
+        if _np is not None:
+            columns = _np.asarray(keynums, dtype=_np.int64)
+            columns[_np.asarray(pending_at, dtype=_np.intp)] = decoded
+            return columns, tombstone_positions
+        for position, keynum in zip(pending_at, decoded):
+            keynums[position] = keynum
+        return keynums, tombstone_positions

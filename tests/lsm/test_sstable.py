@@ -175,3 +175,220 @@ class TestMerge:
         table = table_from_records(3, [Record.put(1, 1), Record.put(2, 2)])
         assert table.table_id == 3
         assert table.entry_count == 2
+
+
+np = pytest.importorskip(
+    "numpy", reason="columnar tests need numpy", exc_type=ImportError
+)
+
+
+def make_columnar(table_id, keys, seqno_start=1, tombstones=(), value_size=100):
+    keys = sorted(keys)
+    seqnos = list(range(seqno_start, seqno_start + len(keys)))
+    mask = [key in tombstones for key in keys]
+    values = [0 if dead else value_size for dead in mask]
+    return SSTable.from_columns(
+        table_id, keys, seqnos, values, mask if any(mask) else None
+    )
+
+
+class TestColumnarTables:
+    def test_matches_record_backed_twin(self):
+        record_table = make_table(3, [5, 1, 9], tombstones={5})
+        columnar = make_columnar(3, [5, 1, 9], tombstones={5})
+        assert columnar.records == record_table.records
+        assert columnar.size_bytes == record_table.size_bytes
+        assert columnar.key_set == record_table.key_set
+        assert columnar.live_key_count == record_table.live_key_count
+        assert columnar.max_seqno == record_table.max_seqno
+        assert columnar.min_seqno == record_table.min_seqno
+        assert (columnar.min_key, columnar.max_key) == (1, 9)
+
+    def test_records_materialize_lazily(self):
+        table = make_columnar(0, range(10))
+        assert "records" not in vars(table)
+        assert table.get(3).key == 3  # read path materializes
+        assert "records" in vars(table)
+        assert all(isinstance(record.key, int) for record in table.records)
+
+    def test_rejects_bad_columns(self):
+        with pytest.raises(StorageError):
+            SSTable.from_columns(0, [], [])
+        with pytest.raises(StorageError):
+            SSTable.from_columns(0, [2, 1], [1, 2])  # unsorted
+        with pytest.raises(StorageError):
+            SSTable.from_columns(0, [1, 1], [1, 2])  # duplicate keys
+        with pytest.raises(StorageError):
+            SSTable.from_columns(0, [1, 2], [1])  # ragged seqnos
+
+    def test_column_view_built_from_records(self):
+        table = make_table(0, [1, 2, 3], tombstones={2})
+        columns = table.columns()
+        assert columns is not None
+        assert columns.keys.tolist() == [1, 2, 3]
+        assert columns.tombstones.tolist() == [False, True, False]
+        assert table.columns() is columns  # cached
+
+    def test_column_view_unavailable_for_string_keys(self):
+        table = SSTable(0, [Record.put("a", 1), Record.put("b", 2)])
+        assert table.columns() is None
+
+    def test_column_view_unavailable_for_payload_values(self):
+        table = SSTable(0, [Record.put(1, 1, value=b"xyz")])
+        assert table.columns() is None
+
+    def test_bloom_batch_matches_scalar_inserts(self):
+        from repro.lsm import BloomFilter
+
+        keys = list(range(500))
+        batched = BloomFilter(len(keys))
+        batched.add_all(keys)
+        scalar = BloomFilter(len(keys))
+        for key in keys:
+            scalar.add(key)
+        assert bytes(batched._bits) == bytes(scalar._bits)
+        assert len(batched) == len(scalar)
+
+
+class TestMergeKernels:
+    def tables(self, tombstones=()):
+        return [
+            make_table(0, [1, 3, 5, 7], seqno_start=1),
+            make_table(1, [2, 3, 8], seqno_start=10, tombstones=tombstones),
+            make_table(2, [1, 8, 9], seqno_start=20),
+        ]
+
+    @pytest.mark.parametrize("drop", [False, True])
+    @pytest.mark.parametrize("tombstones", [(), (3, 8)])
+    def test_columnar_equals_heap(self, drop, tombstones):
+        columnar = merge_sstables(
+            self.tables(tombstones), 99, drop_tombstones=drop, kernel="columnar"
+        )
+        heap = merge_sstables(
+            self.tables(tombstones), 99, drop_tombstones=drop, kernel="heap"
+        )
+        assert columnar.records == heap.records
+        assert columnar.size_bytes == heap.size_bytes
+        assert columnar.table_id == heap.table_id == 99
+
+    def test_columnar_all_tombstoned_keeps_marker(self):
+        tables = [
+            make_table(0, [1], seqno_start=1),
+            make_table(1, [1], seqno_start=5, tombstones={1}),
+        ]
+        columnar = merge_sstables(tables, 7, drop_tombstones=True, kernel="columnar")
+        heap = merge_sstables(tables, 7, drop_tombstones=True, kernel="heap")
+        assert columnar.records == heap.records
+        assert columnar.records[0].tombstone
+
+    def test_same_key_same_seqno_tie_break(self):
+        """Degenerate equal (key, seqno) inputs: earliest table wins in
+        both kernels (heapq.merge stability)."""
+        first = SSTable(0, [Record.put(1, 5, value_size=11)])
+        second = SSTable(1, [Record.put(1, 5, value_size=22)])
+        columnar = merge_sstables([first, second], 9, kernel="columnar")
+        heap = merge_sstables([first, second], 9, kernel="heap")
+        assert columnar.records == heap.records
+        assert columnar.records[0].value_size == 11
+
+    def test_columnar_kernel_requires_columns(self):
+        table = SSTable(0, [Record.put("a", 1)])
+        other = SSTable(1, [Record.put("b", 2)])
+        with pytest.raises(StorageError):
+            merge_sstables([table, other], 5, kernel="columnar")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(StorageError):
+            merge_sstables([make_table(0, [1])], 5, kernel="vectorized")
+
+    def test_auto_falls_back_to_heap_for_string_keys(self):
+        a = SSTable(0, [Record.put("a", 1)])
+        b = SSTable(1, [Record.put("b", 2)])
+        merged = merge_sstables([a, b], 5)  # auto; must not raise
+        assert merged.key_set == frozenset({"a", "b"})
+
+
+class TestSingleInputShortcut:
+    def test_returns_input_aliased_and_ignores_new_table_id(self):
+        table = make_columnar(4, [1, 2, 3])
+        merged = merge_sstables([table], new_table_id=123)
+        assert merged is table
+        assert merged.table_id == 4  # new_table_id ignored by design
+
+    def test_shortcut_applies_even_with_tombstones_present(self):
+        table = make_columnar(4, [1, 2, 3], tombstones={2})
+        assert merge_sstables([table], new_table_id=9) is table
+
+    def test_drop_tombstones_disables_shortcut(self):
+        table = make_columnar(4, [1, 2, 3], tombstones={2})
+        merged = merge_sstables([table], new_table_id=9, drop_tombstones=True)
+        assert merged is not table
+        assert merged.table_id == 9
+        assert merged.key_set == frozenset({1, 3})
+
+    def test_shortcut_preserves_cached_sketches(self):
+        table = make_columnar(4, [1, 2, 3])
+        sketch = table.sketch(precision=10)
+        merged = merge_sstables([table], new_table_id=9)
+        assert merged.cached_sketch(precision=10) is sketch
+
+
+class TestColumnarSketchPropagation:
+    """drop_tombstones x sketch persistence on the columnar kernel."""
+
+    def execute(self, tables, drop_tombstones):
+        from repro.core.schedule import MergeSchedule, MergeStep
+        from repro.lsm import SimulatedDisk, execute_schedule
+
+        schedule = MergeSchedule(
+            n_initial=len(tables),
+            steps=(
+                MergeStep(inputs=tuple(range(len(tables))), output=len(tables)),
+            ),
+        )
+        return execute_schedule(
+            tables,
+            schedule,
+            SimulatedDisk(),
+            next_table_id=100,
+            drop_tombstones=drop_tombstones,
+            merge_kernel="columnar",
+        )
+
+    def test_sketches_propagate_without_tombstones(self):
+        tables = [make_columnar(0, [1, 2, 3]), make_columnar(1, [3, 4, 5], seqno_start=10)]
+        for table in tables:
+            table.sketch(precision=10)
+        result = self.execute(tables, drop_tombstones=True)
+        adopted = result.output_table.cached_sketch(precision=10)
+        assert adopted is not None
+        # Lossless adoption: identical to a sketch built from scratch.
+        from repro.hll import HyperLogLog
+
+        rebuilt = HyperLogLog.of([1, 2, 3, 4, 5], precision=10)
+        assert adopted.cardinality() == rebuilt.cardinality()
+
+    def test_gc_with_tombstones_blocks_propagation(self):
+        """Tombstone GC may drop keys, so adopting input sketches would
+        overcount; the output must rebuild instead."""
+        tables = [
+            make_columnar(0, [1, 2, 3]),
+            make_columnar(1, [2, 6], seqno_start=10, tombstones={2}),
+        ]
+        for table in tables:
+            table.sketch(precision=10)
+        result = self.execute(tables, drop_tombstones=True)
+        assert result.output_table.key_set == frozenset({1, 3, 6})
+        assert result.output_table.cached_sketch(precision=10) is None
+
+    def test_no_gc_propagates_despite_tombstones(self):
+        """Without GC the output keys are exactly the input union, so
+        adoption stays lossless even with tombstones present."""
+        tables = [
+            make_columnar(0, [1, 2, 3]),
+            make_columnar(1, [2, 6], seqno_start=10, tombstones={2}),
+        ]
+        for table in tables:
+            table.sketch(precision=10)
+        result = self.execute(tables, drop_tombstones=False)
+        assert result.output_table.cached_sketch(precision=10) is not None

@@ -1,0 +1,230 @@
+"""Differential harness: the batched data plane equals the reference.
+
+The fast plane (columnar phase 1 + columnar merge kernel) must produce
+**bit-identical** sstables, schedules and metrics to the reference plane
+(operation-at-a-time engine loop + heap merge) on every key
+distribution, with and without numpy, and sweep results must not depend
+on the number of worker processes.  These tests are the contract that
+lets the figure goldens stay byte-identical while the pipeline gets
+faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+import repro.simulator.phase1 as phase1_module
+import repro.ycsb.distributions as distributions_module
+import repro.ycsb.workload as workload_module
+from repro.errors import ConfigError
+from repro.lsm.engine import EngineConfig, LSMEngine
+from repro.simulator import (
+    SimulationConfig,
+    fast_plane_eligible,
+    generate_sstables,
+    generate_sstables_fast,
+    generate_sstables_reference,
+    run_strategy,
+    sweep_update_fraction,
+)
+from repro.ycsb.workload import CoreWorkload, WorkloadConfig
+
+DISTRIBUTIONS = ("uniform", "zipfian", "scrambled_zipfian", "latest")
+
+
+def small_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        recordcount=250,
+        operationcount=2500,
+        memtable_capacity=200,
+        distribution="latest",
+        update_fraction=0.5,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def assert_tables_identical(result_a, result_b):
+    assert result_a.total_operations == result_b.total_operations
+    assert result_a.total_entries == result_b.total_entries
+    assert len(result_a.tables) == len(result_b.tables)
+    for table_a, table_b in zip(result_a.tables, result_b.tables):
+        assert table_a.table_id == table_b.table_id
+        assert table_a.records == table_b.records
+        assert table_a.size_bytes == table_b.size_bytes
+        assert table_a.key_set == table_b.key_set
+        assert (table_a.min_seqno, table_a.max_seqno) == (
+            table_b.min_seqno,
+            table_b.max_seqno,
+        )
+
+
+@pytest.fixture
+def pure_data_plane(monkeypatch):
+    """Force every batched kernel onto its numpy-less fallback."""
+    monkeypatch.setattr(distributions_module, "_np", None)
+    monkeypatch.setattr(workload_module, "_np", None)
+    monkeypatch.setattr(phase1_module, "_np", None)
+
+
+class TestPhase1Equivalence:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    @pytest.mark.parametrize("update_fraction", (0.0, 0.6, 1.0))
+    def test_fast_matches_reference(self, distribution, update_fraction):
+        config = small_config(
+            distribution=distribution, update_fraction=update_fraction
+        )
+        assert_tables_identical(
+            generate_sstables_reference(config), generate_sstables_fast(config)
+        )
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_pure_fast_matches_reference(self, pure_data_plane, distribution):
+        config = small_config(distribution=distribution)
+        assert_tables_identical(
+            generate_sstables_reference(config), generate_sstables_fast(config)
+        )
+
+    def test_auto_plane_uses_fast_pipeline(self):
+        config = small_config()
+        assert config.data_plane == "auto"
+        assert fast_plane_eligible(config)
+        fast = generate_sstables(config)
+        if phase1_module._np is not None:
+            # Column-backed tables never materialized records here.
+            assert all(table.columns() is not None for table in fast.tables)
+            assert all("records" not in vars(table) for table in fast.tables)
+        assert_tables_identical(generate_sstables_reference(config), fast)
+
+    def test_map_mode_falls_back_to_reference(self):
+        config = small_config(memtable_mode="map")
+        assert not fast_plane_eligible(config)
+        result = generate_sstables(config)  # auto: silent fallback
+        assert_tables_identical(generate_sstables_reference(config), result)
+        with pytest.raises(ConfigError):
+            generate_sstables(replace(config, data_plane="fast"))
+
+    def test_reference_plane_forced(self):
+        config = small_config(data_plane="reference")
+        result = generate_sstables(config)
+        # Reference tables are record-backed from construction.
+        assert all("records" in vars(table) for table in result.tables)
+
+    def test_fast_plane_with_deletes(self):
+        """Tombstone columns survive the slab pipeline bit-identically."""
+        np = pytest.importorskip(
+            "numpy", reason="exercises the columnar slab kernel", exc_type=ImportError
+        )
+        workload_config = WorkloadConfig(
+            recordcount=150,
+            operationcount=1800,
+            insert_proportion=0.3,
+            update_proportion=0.5,
+            delete_proportion=0.2,
+            distribution="zipfian",
+            seed=11,
+        )
+        engine = LSMEngine(
+            EngineConfig(
+                memtable_capacity=200,
+                memtable_mode="append",
+                default_value_size=100,
+                use_wal=False,
+            )
+        )
+        for operation in CoreWorkload(workload_config).all_operations():
+            engine.apply(operation)
+        engine.flush()
+
+        config = small_config(recordcount=150, operationcount=1800)
+        keynums, tombstones = CoreWorkload(workload_config).write_stream_columns()
+        tables = phase1_module._flush_slabs_columnar(
+            np.asarray(keynums, dtype=np.int64),
+            tombstones,
+            200,
+            replace(config, memtable_capacity=200),
+        )
+        assert len(tables) == len(engine.sstables)
+        for fast_table, reference_table in zip(tables, engine.sstables):
+            assert fast_table.records == reference_table.records
+            assert fast_table.live_key_count == reference_table.live_key_count
+
+
+class TestPhase2Equivalence:
+    @pytest.fixture(scope="class")
+    def planes(self):
+        config = small_config()
+        return (
+            config,
+            generate_sstables_reference(config),
+            generate_sstables_fast(config),
+        )
+
+    @pytest.mark.parametrize("label", ("SI", "SO", "BT(I)", "RANDOM"))
+    def test_strategy_metrics_identical(self, planes, label):
+        config, reference, fast = planes
+        result_reference = run_strategy(
+            reference.tables, label, replace(config, data_plane="reference")
+        )
+        result_fast = run_strategy(fast.tables, label, config)
+        assert result_reference.cost_actual == result_fast.cost_actual
+        assert result_reference.cost_simplified == result_fast.cost_simplified
+        assert result_reference.bytes_read == result_fast.bytes_read
+        assert result_reference.bytes_written == result_fast.bytes_written
+        assert result_reference.simulated_seconds == result_fast.simulated_seconds
+        assert result_reference.n_merges == result_fast.n_merges
+
+    def test_merge_kernels_identical_on_fast_tables(self, planes):
+        pytest.importorskip(
+            "numpy", reason="forces the columnar merge kernel", exc_type=ImportError
+        )
+        from repro.lsm.sstable import merge_sstables
+
+        _, _, fast = planes
+        columnar = merge_sstables(
+            fast.tables, 10_000, drop_tombstones=True, kernel="columnar"
+        )
+        heap = merge_sstables(
+            fast.tables, 10_000, drop_tombstones=True, kernel="heap"
+        )
+        assert columnar.records == heap.records
+        assert columnar.size_bytes == heap.size_bytes
+
+
+class TestSweepJobsIndependence:
+    @staticmethod
+    def deterministic_fields(sweep):
+        return [
+            (
+                point.x,
+                label,
+                agg.cost_actual_mean,
+                agg.cost_actual_std,
+                agg.cost_simplified_mean,
+                agg.lopt_entries_mean,
+                agg.runs,
+            )
+            for point in sweep.points
+            for label, agg in point.per_strategy.items()
+        ]
+
+    def test_results_independent_of_jobs(self):
+        config = small_config(operationcount=1500, recordcount=200)
+        serial = sweep_update_fraction(
+            config, (0.0, 1.0), ("SI", "RANDOM"), runs=2, jobs=1
+        )
+        parallel = sweep_update_fraction(
+            config, (0.0, 1.0), ("SI", "RANDOM"), runs=2, jobs=3
+        )
+        assert self.deterministic_fields(serial) == self.deterministic_fields(
+            parallel
+        )
+
+    def test_invalid_jobs_rejected(self):
+        from repro.simulator import run_comparison
+
+        with pytest.raises(ConfigError):
+            run_comparison(small_config(), ("SI",), runs=1, jobs=0)

@@ -63,13 +63,26 @@ def table_rows(text: str) -> list[list[float]]:
 
 @pytest.fixture(scope="module")
 def fig7_panels():
-    """One full-scale figure-7 sweep shared by the 7a and 7b goldens."""
+    """One full-scale figure-7 sweep shared by the 7a and 7b goldens.
+
+    Serial on purpose: 7b's tolerance band compares *measured* strategy
+    overhead, and running ``jobs`` workers on fewer cores inflates
+    wall-clock readings through scheduler contention.  The parallel
+    runner is certified by the jobs=4 byte goldens below, whose panels
+    contain only deterministic values.
+    """
     return figure7(fast=False)
 
 
 class TestFigure7aGolden:
     def test_costs_match_committed_bytes(self, fig7_panels):
+        """The (default) fast data plane reproduces the committed bytes."""
         fig7a, _ = fig7_panels
+        assert rendered(fig7a) == committed("fig7a")
+
+    def test_costs_match_committed_bytes_under_jobs4(self):
+        """The parallel sweep runner cannot perturb the cost panel."""
+        fig7a, _ = figure7(fast=False, jobs=4)
         assert rendered(fig7a) == committed("fig7a")
 
 
@@ -106,6 +119,9 @@ class TestFigure7bGolden:
 
 
 class TestFigure8Golden:
-    def test_matches_committed_bytes(self):
-        result = figure8(fast=False)
+    def test_matches_committed_bytes_under_jobs4(self):
+        """Fig8's table holds only deterministic values (costs, LOPT,
+        ratios, slopes), so one jobs=4 fast-plane run certifies both the
+        columnar pipeline and the parallel runner byte-for-byte."""
+        result = figure8(fast=False, jobs=4)
         assert rendered(result) == committed("fig8")

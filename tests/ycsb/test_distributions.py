@@ -157,3 +157,91 @@ class TestDeterminism:
         a = draw(make_chooser(name), 500, 200, seed=7)
         b = draw(make_chooser(name), 500, 200, seed=8)
         assert a != b
+
+
+class TestNextBatch:
+    """The batch API is bit-identical to the scalar next() loop."""
+
+    GROWING = [1, 1, 3, 3, 3, 10, 10, 50, 50, 51, 52, 100] * 20 + list(
+        range(100, 700, 3)
+    )
+    NON_MONOTONIC = [5] * 40 + [9] * 40 + [3] * 5 + [11] * 40
+
+    @pytest.mark.parametrize(
+        "name", ["uniform", "zipfian", "latest", "scrambled_zipfian", "hotspot"]
+    )
+    @pytest.mark.parametrize("counts", [GROWING, NON_MONOTONIC])
+    def test_matches_scalar_loop(self, name, counts):
+        scalar_chooser = make_chooser(name)
+        scalar_rng = random.Random(13)
+        expected = [scalar_chooser.next(scalar_rng, c) for c in counts]
+        batch_chooser = make_chooser(name)
+        batch_rng = random.Random(13)
+        assert list(batch_chooser.next_batch(batch_rng, counts)) == expected
+
+    @pytest.mark.parametrize("name", ["zipfian", "latest", "scrambled_zipfian"])
+    def test_state_continues_across_batches(self, name):
+        counts = self.GROWING
+        scalar_chooser = make_chooser(name)
+        scalar_rng = random.Random(3)
+        expected = [scalar_chooser.next(scalar_rng, c) for c in counts]
+        mixed_chooser = make_chooser(name)
+        mixed_rng = random.Random(3)
+        got = list(mixed_chooser.next_batch(mixed_rng, counts[:100]))
+        got += [mixed_chooser.next(mixed_rng, c) for c in counts[100:200]]
+        got += list(mixed_chooser.next_batch(mixed_rng, counts[200:]))
+        assert got == expected
+
+    @pytest.mark.parametrize(
+        "name", ["uniform", "zipfian", "latest", "scrambled_zipfian"]
+    )
+    def test_pure_fallback_matches(self, name, monkeypatch):
+        import repro.ycsb.distributions as distributions_module
+
+        with_numpy = list(
+            make_chooser(name).next_batch(random.Random(5), self.GROWING)
+        )
+        monkeypatch.setattr(distributions_module, "_np", None)
+        pure = list(make_chooser(name).next_batch(random.Random(5), self.GROWING))
+        assert pure == with_numpy
+
+    def test_empty_batch(self):
+        assert list(ZipfianChooser().next_batch(random.Random(0), [])) == []
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfianChooser().next_batch(random.Random(0), [3, 0, 5])
+
+    def test_decode_batch_validates(self):
+        chooser = ZipfianChooser()
+        with pytest.raises(WorkloadError):
+            chooser.decode_batch([0.5], [3, 4])  # length mismatch
+        with pytest.raises(WorkloadError):
+            chooser.decode_batch([0.5], [1])  # single-key space
+
+    def test_zeta_extension_vectorized_matches_loop(self):
+        vectorized = ZipfianChooser()
+        vectorized._extend_zeta(5000)
+        scalar = ZipfianChooser()
+        theta = scalar.theta
+        total = 0.0
+        for i in range(1, 5001):
+            total += 1.0 / (i**theta)
+        assert vectorized._zetan == total
+        incremental = ZipfianChooser()
+        incremental._extend_zeta(321)
+        incremental._extend_zeta(5000)
+        assert incremental._zetan == vectorized._zetan
+
+    def test_two_key_space_supported(self):
+        """zeta(2) equals the second head cut, so every draw lands on key
+        0 or 1 and the 0/0-prone eta expression is never evaluated."""
+        rng = random.Random(4)
+        chooser = ZipfianChooser()
+        scalar = [chooser.next(rng, 2) for _ in range(200)]
+        assert set(scalar) <= {0, 1}
+        batch = make_chooser("zipfian").next_batch(random.Random(4), [2] * 200)
+        assert list(batch) == scalar
+        for name in ("latest", "scrambled_zipfian"):
+            values = make_chooser(name).next_batch(random.Random(4), [2] * 50)
+            assert set(int(v) for v in values) <= {0, 1}
