@@ -1,20 +1,32 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's worked example (Section 4.3), end to end.
+"""Quickstart: the paper's worked example, then the scenario API.
 
-Builds the 5-set instance from the paper, runs every greedy heuristic,
-prints each merge schedule as a tree with its cost, and compares against
-the exact optimum.  Expected costs (simplified cost, eq. 2.1):
+Part 1 builds the 5-set instance from the paper (Section 4.3), runs
+every greedy heuristic, prints each merge schedule as a tree with its
+cost, and compares against the exact optimum.  Expected costs
+(simplified cost, eq. 2.1):
 
 * BALANCETREE (arrival pairing) — 45 (Figure 4)
 * SMALLESTINPUT — 47 (Figure 5)
 * SMALLESTOUTPUT — 40 (Figure 6), which is optimal here.
 
+Part 2 runs a full simulator experiment through the declarative
+scenario API (docs/scenarios.md): a registered preset, scaled down with
+config overrides, executed by ExperimentRunner and recorded as a
+schema-versioned manifest by ResultsStore — the same path as
+``python -m repro run``.
+
 Run:  python examples/quickstart.py
 """
+
+import json
+import tempfile
+from pathlib import Path
 
 from repro import MergeInstance, merge_with, optimal_merge
 from repro.analysis import render_schedule
 from repro.core import HllEstimator, lopt
+from repro.scenarios import ExperimentRunner, REGISTRY, ResultsStore, Scenario
 
 SETS = [
     {1, 2, 3, 5},   # A1
@@ -63,6 +75,39 @@ def main() -> None:
     so_cost = merge_with("SO", instance).replay(instance).simplified_cost
     assert so_cost == best.cost, "SO should be optimal on this instance"
     print("\nSMALLESTOUTPUT found the optimal schedule for this instance.")
+
+    scenario_demo()
+
+
+def scenario_demo() -> None:
+    """A declarative experiment: registered spec -> runner -> manifest."""
+    print("\n=== Scenario API (docs/scenarios.md) ===")
+    scenario = REGISTRY.get("churn")
+    print(scenario.describe())
+
+    # Specs are data: they round-trip through plain dicts/JSON.
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultsStore(Path(tmp) / "runs")
+        runner = ExperimentRunner(store=store)
+        # Overrides scale the preset down so the demo runs in seconds;
+        # drop them (and runs=1) for the paper-scale preset.
+        run, manifest_path = runner.run_and_record(
+            scenario,
+            runs=1,
+            overrides={
+                "recordcount": 200,
+                "operationcount": 2000,
+                "memtable_capacity": 200,
+            },
+        )
+        print(run.render())
+        manifest = json.loads(manifest_path.read_text())
+        print(
+            f"manifest: schema v{manifest['schema_version']}, "
+            f"spec {manifest['spec_hash']}, {len(manifest['cells'])} cells"
+        )
 
 
 if __name__ == "__main__":

@@ -1,11 +1,32 @@
-"""Setup shim for legacy editable installs (no-network environments).
+"""Packaging for legacy editable installs (no-network environments).
 
 The environment this repo targets may lack the ``wheel`` package, which
 PEP 517 editable installs require; ``pip install -e . --no-build-isolation
---no-use-pep517`` falls back to this shim.  All metadata lives in
-``pyproject.toml``.
+--no-use-pep517`` falls back to this shim, so the metadata — including
+the ``repro`` console script wired to the unified CLI — lives here.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-compaction",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Fast Compaction Algorithms for NoSQL Databases' "
+        "(Ghosh, Gupta, Gupta, Kumar - ICDCS 2015)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            # `repro run fig7a`, `repro list-scenarios`, ... == `python -m repro`
+            "repro=repro.cli:main",
+        ]
+    },
+    extras_require={
+        # Pure-python fallbacks cover everything; numpy vectorizes the
+        # HLL kernels and the columnar data plane.
+        "fast": ["numpy"],
+    },
+)

@@ -15,7 +15,13 @@ The package is organized as one subpackage per subsystem:
   bloom filters, a simulated disk and compaction strategies.
 * :mod:`repro.simulator` — the paper's two-phase evaluation simulator.
 * :mod:`repro.analysis` — statistics, tables, ASCII plots and the
-  figure-regeneration registry (``python -m repro.analysis.experiments``).
+  figure-regeneration functions.
+* :mod:`repro.scenarios` — the declarative experiment layer: frozen
+  ``Scenario`` specs, the scenario registry, the ``ExperimentRunner``
+  and the schema-versioned ``ResultsStore`` (docs/scenarios.md).
+
+Everything is driven from one CLI: ``python -m repro`` (``run``,
+``sweep``, ``list-scenarios``, ``figures``, ``bench-trends``).
 
 Quickstart::
 

@@ -30,22 +30,22 @@ from typing import Callable, Optional, Sequence
 
 from ..core.backend import available_backends
 from ..core.estimator import available_estimators
-from ..simulator import (
-    SimulationConfig,
-    sweep_memtable_capacity,
-    sweep_operationcount,
-    sweep_update_fraction,
+from ..scenarios.registry import (
+    FIG8_CAPACITIES,
+    FIG8_CAPACITIES_FAST,
+    FIG9_DISTRIBUTIONS,
+    FIG9B_OPERATION_COUNTS,
+    REGISTRY,
+    UPDATE_FRACTIONS,
 )
+from ..scenarios.runner import execute_sweep
+from ..scenarios.spec import SweepSpec
+from ..simulator import SimulationConfig
 from .ascii_plot import scatter_plot
 from .stats import linear_fit, log_log_fit
 from .tables import format_table
 
-UPDATE_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
 FIG7_STRATEGIES = ("SI", "SO", "BT(I)", "BT(O)", "RANDOM")
-FIG8_CAPACITIES = (10, 100, 1000, 10_000)
-FIG8_CAPACITIES_FAST = (10, 100, 1000)
-FIG9_DISTRIBUTIONS = ("uniform", "zipfian", "latest")
-FIG9B_OPERATION_COUNTS = (20_000, 40_000, 60_000, 80_000, 100_000)
 
 
 @dataclass
@@ -58,16 +58,28 @@ class ExperimentResult:
     series: dict[str, list[tuple[float, float]]]
     metadata: dict = field(default_factory=dict)
 
-    def print(self, file=sys.stdout) -> None:  # pragma: no cover - CLI glue
+    def print(self, file=None) -> None:
+        # Resolve sys.stdout at call time (a definition-time default
+        # would pin the stream object and bypass later redirection).
+        file = file if file is not None else sys.stdout
         print(f"== {self.experiment_id}: {self.title} ==", file=file)
         print(self.text, file=file)
 
 
-def _fast_figure7_base(distribution: str) -> SimulationConfig:
-    return replace(
-        SimulationConfig.figure7(0.0, distribution),
-        operationcount=20_000,
-    )
+def _scenario_base(
+    scenario_name: str, fast: bool, distribution: Optional[str] = None
+) -> SimulationConfig:
+    """The registered scenario's base config, fast variant applied.
+
+    Every figure function derives its configuration from the scenario
+    registry, so a figure and ``ExperimentRunner.run(<scenario>)`` are
+    the same declarative spec executed by the same machinery.
+    """
+    scenario = REGISTRY.get(scenario_name)
+    base = scenario.config_for(fast)
+    if distribution is not None and distribution != base.distribution:
+        base = replace(base, distribution=distribution)
+    return base
 
 
 def _apply_overrides(
@@ -111,15 +123,18 @@ def figure7(
     kernel-independent, the time panel's strategy overhead shrinks under
     ``"bitset"`` and the vectorized HLL estimator.
     """
-    runs = runs if runs is not None else (1 if fast else 3)
+    scenario = REGISTRY.get("fig7a")
+    runs = runs if runs is not None else scenario.runs_for(fast)
     if base is None:
-        base = (
-            _fast_figure7_base(distribution)
-            if fast
-            else SimulationConfig.figure7(0.0, distribution)
-        )
+        base = _scenario_base("fig7a", fast, distribution)
     base = _apply_overrides(base, backend, estimator, hll_precision)
-    sweep = sweep_update_fraction(base, fractions, FIG7_STRATEGIES, runs, jobs=jobs)
+    sweep = execute_sweep(
+        base,
+        SweepSpec("update_fraction", tuple(fractions)),
+        FIG7_STRATEGIES,
+        runs,
+        jobs=jobs,
+    )
 
     cost_rows, time_rows = [], []
     cost_series: dict[str, list[tuple[float, float]]] = {s: [] for s in FIG7_STRATEGIES}
@@ -228,15 +243,17 @@ def figure8(
     # BT(I) never consults an estimator, so only the backend override
     # can change anything here; accepted for CLI uniformity.
     del estimator, hll_precision
-    runs = runs if runs is not None else (1 if fast else 3)
+    scenario = REGISTRY.get("fig8")
+    runs = runs if runs is not None else scenario.runs_for(fast)
     if capacities is None:
-        capacities = FIG8_CAPACITIES_FAST if fast else FIG8_CAPACITIES
-    sweep = sweep_memtable_capacity(
-        capacities,
-        ("BT(I)",),
-        runs=runs,
-        distribution=distribution,
-        backend=backend,
+        capacities = scenario.sweep.values_for(fast)
+    base = _scenario_base("fig8", fast, distribution)
+    base = _apply_overrides(base, backend, None, None)
+    sweep = execute_sweep(
+        base,
+        replace(scenario.sweep, values=tuple(capacities), fast_values=None),
+        scenario.strategies,
+        runs,
         jobs=jobs,
     )
     rows = []
@@ -312,17 +329,16 @@ def figure9a(
     hll_precision: Optional[int] = None,
     jobs: int = 1,
 ) -> ExperimentResult:
-    runs = runs if runs is not None else (1 if fast else 3)
+    scenario = REGISTRY.get("fig9a")
+    runs = runs if runs is not None else scenario.runs_for(fast)
     series: dict[str, list[tuple[float, float]]] = {}
     fits = {}
-    for distribution in FIG9_DISTRIBUTIONS:
-        base = (
-            _fast_figure7_base(distribution)
-            if fast
-            else SimulationConfig.figure7(0.0, distribution)
-        )
+    for distribution in scenario.distributions_for():
+        base = _scenario_base("fig9a", fast, distribution)
         base = _apply_overrides(base, backend, estimator, hll_precision)
-        sweep = sweep_update_fraction(base, UPDATE_FRACTIONS, ("SI",), runs, jobs=jobs)
+        sweep = execute_sweep(
+            base, scenario.sweep, scenario.strategies, runs, jobs=jobs
+        )
         points = _cost_time_points(sweep)
         series[distribution] = points
         fits[distribution] = linear_fit(
@@ -358,20 +374,16 @@ def figure9b(
     hll_precision: Optional[int] = None,
     jobs: int = 1,
 ) -> ExperimentResult:
-    runs = runs if runs is not None else (1 if fast else 3)
-    counts = (
-        tuple(count // 5 for count in FIG9B_OPERATION_COUNTS)
-        if fast
-        else FIG9B_OPERATION_COUNTS
-    )
+    scenario = REGISTRY.get("fig9b")
+    runs = runs if runs is not None else scenario.runs_for(fast)
     series: dict[str, list[tuple[float, float]]] = {}
     fits = {}
-    for distribution in FIG9_DISTRIBUTIONS:
-        base = replace(
-            SimulationConfig.figure7(0.0, distribution), update_fraction=0.6
-        )
+    for distribution in scenario.distributions_for():
+        base = _scenario_base("fig9b", fast, distribution)
         base = _apply_overrides(base, backend, estimator, hll_precision)
-        sweep = sweep_operationcount(base, counts, ("SI",), runs, jobs=jobs)
+        sweep = execute_sweep(
+            base, scenario.sweep, scenario.strategies, runs, jobs=jobs, fast=fast
+        )
         points = _cost_time_points(sweep)
         series[distribution] = points
         fits[distribution] = linear_fit(
@@ -445,10 +457,8 @@ def run_experiment(
     return [result]  # type: ignore[list-item]
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
-    parser = argparse.ArgumentParser(
-        description="Regenerate the paper's evaluation figures."
-    )
+def add_figures_arguments(parser: argparse.ArgumentParser) -> None:
+    """The figure CLI flags, shared by ``repro figures`` and the shim."""
     parser.add_argument(
         "experiment",
         help="fig7 | fig7a | fig7b | fig8 | fig9a | fig9b | all",
@@ -483,8 +493,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
         help="worker processes for the sweep's (point x run) cells; "
         "results are byte-identical for any value (default: 1)",
     )
-    args = parser.parse_args(argv)
 
+
+def run_figures(args: argparse.Namespace) -> int:
+    """Execute the parsed figure CLI request (stdout only; see shim note)."""
     if args.experiment == "all":
         ids = ["fig7", "fig8", "fig9a", "fig9b"]
     else:
@@ -507,6 +519,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
                 path.write_text(f"{result.title}\n\n{result.text}\n")
                 print(f"[written to {path}]")
     return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Deprecated figure entry point (use ``python -m repro figures``).
+
+    Kept as a thin shim: parsing and execution are exactly the unified
+    CLI's ``figures`` subcommand, and the deprecation note goes to
+    stderr so stdout stays byte-identical to the historical output.
+    """
+    print(
+        "note: `python -m repro.analysis.experiments` is deprecated; "
+        "use `python -m repro figures`",
+        file=sys.stderr,
+    )
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation figures."
+    )
+    add_figures_arguments(parser)
+    return run_figures(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

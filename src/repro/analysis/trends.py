@@ -1,0 +1,201 @@
+"""Bench trend renderer: make perf regressions visible at a glance.
+
+Every benchmark writes a machine-readable ``results/BENCH_<name>.json``
+snapshot (see ``benchmarks/conftest.py``).  This module reads one or
+more such snapshot directories — e.g. the committed ``results/`` plus
+unpacked weekly-CI artifacts — flattens each bench's numeric scalars,
+and renders a per-bench trend table.  With two or more snapshots it
+flags metrics that moved more than a threshold between the first and
+last snapshot: metrics whose name marks a direction (``speedup`` —
+higher is better; ``seconds``/``overhead`` — lower is better) are
+flagged as regressions, anything else as a change worth a look.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+from .ascii_plot import scatter_plot
+from .tables import format_table
+
+DEFAULT_THRESHOLD = 0.20
+
+#: Metric-name fragments that fix the "good" direction.
+_HIGHER_IS_BETTER = ("speedup",)
+_LOWER_IS_BETTER = ("seconds", "overhead", "cost")
+
+
+def flatten_scalars(
+    document: Mapping, prefix: str = "", skip: Sequence[str] = ("fast_mode",)
+) -> dict[str, float]:
+    """Numeric leaves of a nested bench document, dot-joined keys.
+
+    Lists (figure series) and strings are skipped — trends track the
+    headline scalars, not whole curves.
+    """
+    out: dict[str, float] = {}
+    for key, value in document.items():
+        if key in skip and not prefix:
+            continue
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[path] = float(value)
+        elif isinstance(value, Mapping):
+            out.update(flatten_scalars(value, path, skip))
+    return out
+
+
+def load_snapshot(directory: Path | str) -> dict[str, dict[str, float]]:
+    """``bench name -> {metric: value}`` for one results directory."""
+    directory = Path(directory)
+    snapshot: dict[str, dict[str, float]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        name = document.get("bench", path.stem[len("BENCH_"):])
+        snapshot[name] = flatten_scalars(document)
+    return snapshot
+
+
+def metric_direction(metric: str) -> Optional[int]:
+    """+1 if higher is better, -1 if lower is better, None if unknown."""
+    lowered = metric.lower()
+    if any(tag in lowered for tag in _HIGHER_IS_BETTER):
+        return +1
+    if any(tag in lowered for tag in _LOWER_IS_BETTER):
+        return -1
+    return None
+
+
+@dataclass
+class TrendReport:
+    """All benches across all snapshots, plus the flagged movements."""
+
+    labels: list[str]
+    benches: dict[str, dict[str, list[Optional[float]]]]
+    regressions: list[tuple[str, str, float]] = field(default_factory=list)
+    changes: list[tuple[str, str, float]] = field(default_factory=list)
+
+    @property
+    def has_history(self) -> bool:
+        return len(self.labels) >= 2
+
+
+def build_report(
+    directories: Sequence[Path | str],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> TrendReport:
+    """Collect snapshots (oldest first) and flag >threshold movements."""
+    snapshots = [load_snapshot(directory) for directory in directories]
+    labels = [str(directory) for directory in directories]
+    benches: dict[str, dict[str, list[Optional[float]]]] = {}
+    names = sorted({name for snapshot in snapshots for name in snapshot})
+    for name in names:
+        metrics = sorted(
+            {metric for snapshot in snapshots for metric in snapshot.get(name, {})}
+        )
+        benches[name] = {
+            metric: [snapshot.get(name, {}).get(metric) for snapshot in snapshots]
+            for metric in metrics
+        }
+    report = TrendReport(labels=labels, benches=benches)
+    if len(snapshots) < 2:
+        return report
+    for name, metrics in benches.items():
+        for metric, values in metrics.items():
+            present = [v for v in values if v is not None]
+            if len(present) < 2 or present[0] == 0:
+                continue
+            first, last = present[0], present[-1]
+            pct = (last - first) / abs(first)
+            if abs(pct) <= threshold:
+                continue
+            direction = metric_direction(metric)
+            worse = direction is not None and (
+                (direction > 0 and pct < 0) or (direction < 0 and pct > 0)
+            )
+            entry = (name, metric, pct)
+            if worse:
+                report.regressions.append(entry)
+            elif direction is None:
+                report.changes.append(entry)
+    return report
+
+
+def render_report(report: TrendReport, threshold: float = DEFAULT_THRESHOLD) -> str:
+    """The trend tables (one per bench), flags, and a speedup plot."""
+    sections: list[str] = []
+    flagged = {
+        (name, metric): "REGRESSION" for name, metric, _ in report.regressions
+    }
+    flagged.update(
+        {(name, metric): "changed" for name, metric, _ in report.changes}
+    )
+    for name, metrics in report.benches.items():
+        rows = []
+        for metric, values in metrics.items():
+            cells: list[object] = [metric]
+            cells += ["-" if v is None else v for v in values]
+            if report.has_history:
+                present = [v for v in values if v is not None]
+                if len(present) >= 2 and present[0]:
+                    pct = (present[-1] - present[0]) / abs(present[0])
+                    cells.append(f"{pct:+.1%}")
+                else:
+                    cells.append("-")
+                cells.append(flagged.get((name, metric), ""))
+            rows.append(cells)
+        headers = ["metric"] + [
+            f"snap{i}" for i in range(len(report.labels))
+        ]
+        if report.has_history:
+            headers += ["delta", "flag"]
+        sections.append(
+            format_table(headers, rows, float_digits=3, title=f"bench: {name}")
+        )
+    if report.has_history:
+        speedups = {
+            f"{name}:{metric}": [
+                (float(index), value)
+                for index, value in enumerate(values)
+                if value is not None
+            ]
+            for name, metrics in report.benches.items()
+            for metric, values in metrics.items()
+            if metric_direction(metric) == +1
+        }
+        speedups = {k: v for k, v in speedups.items() if len(v) >= 2}
+        if speedups:
+            sections.append(
+                scatter_plot(
+                    speedups,
+                    title="speedup trends (snapshot index vs value)",
+                    xlabel="snapshot",
+                    ylabel="speedup",
+                )
+            )
+        summary = (
+            f"{len(report.regressions)} regression(s), "
+            f"{len(report.changes)} unclassified change(s) beyond "
+            f"{threshold:.0%} between {report.labels[0]} and {report.labels[-1]}"
+        )
+        if report.regressions:
+            summary += "".join(
+                f"\n  REGRESSION {name}:{metric} {pct:+.1%}"
+                for name, metric, pct in report.regressions
+            )
+        sections.append(summary)
+    else:
+        sections.append(
+            "single snapshot: pass two or more results directories "
+            "(e.g. an unpacked CI artifact, then results/) to see trends "
+            "and regression flags"
+        )
+    return "\n\n".join(sections)

@@ -49,3 +49,11 @@ class StorageError(ReproError):
 
 class CompactionError(ReproError):
     """A compaction run could not be completed."""
+
+
+class ScenarioError(ReproError):
+    """A scenario spec is malformed, unknown, or could not be executed."""
+
+
+class ResultsStoreError(ReproError):
+    """A results-store manifest is missing, corrupt, or schema-incompatible."""

@@ -1,0 +1,343 @@
+"""Execute any :class:`Scenario` through the existing sweep machinery.
+
+:func:`execute_sweep` maps a :class:`SweepSpec` onto the simulator's
+``sweep_*`` functions (the same code path the figure goldens certify);
+:class:`ExperimentRunner` resolves a scenario (fast variant, CLI
+overrides, per-distribution axis), runs it, renders a generic
+table-plus-plot report, and optionally records a schema-versioned
+manifest through :class:`~repro.scenarios.store.ResultsStore`.
+
+The legacy figure functions in :mod:`repro.analysis.experiments` run
+their sweeps through :func:`execute_sweep` too, so "through the
+ExperimentRunner path" and "through ``figure7()``" are the same
+computation — the byte goldens certify both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from ..errors import ScenarioError
+from ..simulator.config import SimulationConfig
+from ..simulator.metrics import AggregateResult
+from ..simulator.runner import (
+    ComparisonResult,
+    SweepResult,
+    run_comparison,
+    sweep_memtable_capacity,
+    sweep_operationcount,
+    sweep_update_fraction,
+)
+from .registry import REGISTRY, ScenarioRegistry
+from .spec import Scenario, SweepSpec
+from .store import ResultsStore
+
+
+def execute_sweep(
+    config: SimulationConfig,
+    sweep: SweepSpec,
+    strategies: Sequence[str],
+    runs: int,
+    jobs: int = 1,
+    fast: bool = False,
+) -> SweepResult:
+    """Run one declared sweep on ``config`` via the simulator machinery."""
+    values = sweep.values_for(fast)
+    labels = tuple(strategies)
+    if sweep.parameter == "update_fraction":
+        return sweep_update_fraction(config, values, labels, runs, jobs=jobs)
+    if sweep.parameter == "operationcount":
+        return sweep_operationcount(
+            config, [int(v) for v in values], labels, runs, jobs=jobs
+        )
+    if sweep.parameter == "memtable_capacity":
+        return sweep_memtable_capacity(
+            [int(v) for v in values],
+            labels,
+            runs=runs,
+            n_sstables=sweep.n_sstables,
+            jobs=jobs,
+            base=config,
+        )
+    raise ScenarioError(f"unknown sweep parameter {sweep.parameter!r}")
+
+
+def render_comparison_table(
+    config: SimulationConfig,
+    comparison: ComparisonResult,
+    labels: Sequence[str],
+) -> str:
+    """The classic single-run comparison table.
+
+    This is byte-for-byte the table ``python -m repro.simulator`` has
+    always printed; the deprecation shim and the unified CLI both render
+    through it.
+    """
+    # Imported lazily: repro.analysis's package init pulls in the figure
+    # registry, which itself imports this module (render-only cycle).
+    from ..analysis.tables import format_table
+
+    rows = []
+    for label in labels:
+        agg = comparison.per_strategy[label]
+        rows.append(
+            [
+                label,
+                agg.cost_actual_mean,
+                agg.cost_actual_std,
+                agg.cost_over_lopt,
+                agg.simulated_seconds_mean + agg.strategy_overhead_mean,
+                agg.strategy_overhead_mean,
+            ]
+        )
+    return format_table(
+        [
+            "strategy",
+            "costactual mean",
+            "std",
+            "cost/LOPT",
+            "sim seconds",
+            "overhead s",
+        ],
+        rows,
+        float_digits=3,
+        title=(
+            f"distribution={config.distribution}, "
+            f"update={config.update_fraction:.0%}, k={config.k}, "
+            f"ops={config.operationcount}, runs={comparison.runs}"
+        ),
+    )
+
+
+def _render_sweep_tables(
+    sweep: SweepResult, parameter: str, runs: int
+) -> str:
+    """Cost and time tables plus a cost plot for one executed sweep."""
+    from ..analysis.ascii_plot import scatter_plot
+    from ..analysis.tables import format_table
+
+    labels = sweep.labels
+    cost_rows, time_rows = [], []
+    cost_series: dict[str, list[tuple[float, float]]] = {l: [] for l in labels}
+    for point in sweep.points:
+        cost_row: list[object] = [point.x]
+        time_row: list[object] = [point.x]
+        for label in labels:
+            agg = point.per_strategy[label]
+            cost_row += [agg.cost_actual_mean, agg.cost_actual_std]
+            time_row += [
+                agg.simulated_seconds_mean + agg.strategy_overhead_mean,
+                agg.simulated_seconds_std,
+            ]
+            cost_series[label].append((point.x, agg.cost_actual_mean))
+        cost_rows.append(cost_row)
+        time_rows.append(time_row)
+    headers = [parameter]
+    for label in labels:
+        headers += [f"{label} mean", f"{label} std"]
+    cost_text = format_table(
+        headers, cost_rows, float_digits=0,
+        title=f"costactual (entries), runs={runs}",
+    )
+    time_text = format_table(
+        headers, time_rows, float_digits=3,
+        title=f"compaction time (simulated s), runs={runs}",
+    )
+    plot = scatter_plot(
+        cost_series, xlabel=parameter, ylabel="costactual"
+    )
+    return f"{cost_text}\n\n{time_text}\n\n{plot}"
+
+
+def _cell_metrics(agg: AggregateResult) -> dict[str, Any]:
+    return {
+        "strategy": agg.strategy,
+        "runs": agg.runs,
+        "cost_actual_mean": agg.cost_actual_mean,
+        "cost_actual_std": agg.cost_actual_std,
+        "cost_simplified_mean": agg.cost_simplified_mean,
+        "cost_over_lopt": agg.cost_over_lopt,
+        "lopt_entries_mean": agg.lopt_entries_mean,
+        "simulated_seconds_mean": agg.simulated_seconds_mean,
+        "simulated_seconds_std": agg.simulated_seconds_std,
+        "strategy_overhead_mean": agg.strategy_overhead_mean,
+        "wall_seconds_mean": agg.wall_seconds_mean,
+    }
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One executed scenario: the resolved inputs and every result."""
+
+    scenario: Scenario
+    config: SimulationConfig  # base config after fast/CLI overrides
+    runs: int
+    jobs: int
+    fast: bool
+    #: distribution -> SweepResult or ComparisonResult
+    results: dict[str, Union[SweepResult, ComparisonResult]]
+
+    def cells(self) -> list[dict[str, Any]]:
+        """Flat per-(distribution, x, strategy) metric rows for the store."""
+        rows: list[dict[str, Any]] = []
+        for distribution, result in self.results.items():
+            if isinstance(result, SweepResult):
+                for point in result.points:
+                    for label in result.labels:
+                        rows.append(
+                            {
+                                "distribution": distribution,
+                                # The executed sweep's own axis name
+                                # (e.g. "update_percentage"), which is
+                                # the unit point.x is expressed in — the
+                                # spec's "update_fraction" values are
+                                # fractions, not percentages.
+                                "parameter": result.parameter,
+                                "x": point.x,
+                                **_cell_metrics(point.per_strategy[label]),
+                            }
+                        )
+            else:
+                for label, agg in result.per_strategy.items():
+                    rows.append(
+                        {
+                            "distribution": distribution,
+                            "parameter": None,
+                            "x": None,
+                            **_cell_metrics(agg),
+                        }
+                    )
+        return rows
+
+    def render(self) -> str:
+        """A terminal report: header plus tables/plots per distribution."""
+        scenario = self.scenario
+        lines = [
+            f"== {scenario.name}: {scenario.title} ==",
+            f"spec {scenario.spec_hash()}  runs={self.runs} jobs={self.jobs}"
+            + ("  [fast]" if self.fast else ""),
+            f"config: {self.config.describe()}",
+            "",
+        ]
+        for distribution, result in self.results.items():
+            if len(self.results) > 1:
+                lines.append(f"-- distribution: {distribution} --")
+            if isinstance(result, SweepResult):
+                lines.append(
+                    _render_sweep_tables(
+                        result, result.parameter, self.runs
+                    )
+                )
+            else:
+                config = replace(self.config, distribution=distribution)
+                lines.append(
+                    render_comparison_table(
+                        config, result, scenario.strategies
+                    )
+                )
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+class ExperimentRunner:
+    """Resolves and executes scenarios; optionally records manifests."""
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry = REGISTRY,
+        store: Optional[ResultsStore] = None,
+        jobs: int = 1,
+    ) -> None:
+        self.registry = registry
+        self.store = store
+        self.jobs = jobs
+
+    def run(
+        self,
+        scenario: Union[str, Scenario],
+        fast: bool = False,
+        runs: Optional[int] = None,
+        overrides: Optional[Mapping[str, Any]] = None,
+        strategies: Optional[Sequence[str]] = None,
+    ) -> ScenarioRun:
+        """Execute one scenario end to end.
+
+        ``overrides`` are config-field replacements applied after the
+        fast variant (the CLI's ``--set``/``--backend``/... flags);
+        ``strategies`` overrides the spec's grid.  ``run`` only
+        executes — use :meth:`run_and_record` to also persist a
+        manifest through the runner's store.
+        """
+        if isinstance(scenario, str):
+            scenario = self.registry.get(scenario)
+        config = scenario.config_for(fast)
+        if overrides:
+            if scenario.sweep is not None:
+                # The sweep overwrites its parameter (and, for Figure-8
+                # style capacity sweeps, the derived operationcount) at
+                # every point; accepting an override for those fields
+                # would silently discard it while the manifest recorded
+                # it as applied.
+                clashing = {scenario.sweep.parameter}
+                if scenario.sweep.parameter == "memtable_capacity":
+                    clashing.add("operationcount")
+                clash = sorted(clashing & set(overrides))
+                if clash:
+                    raise ScenarioError(
+                        f"cannot override {clash} on scenario "
+                        f"{scenario.name!r}: the sweep sets "
+                        f"{sorted(clashing)} at every point (edit the "
+                        "spec's sweep values instead)"
+                    )
+            config = config.overridden(overrides)
+        if strategies is not None:
+            scenario = replace(scenario, strategies=tuple(strategies))
+        resolved_runs = scenario.runs_for(fast, runs)
+        if resolved_runs < 1:
+            raise ScenarioError(f"runs must be at least 1, got {resolved_runs}")
+        # The distribution axis follows the *resolved* config: an
+        # explicit `distribution` override replaces the spec's axis
+        # entirely (otherwise the override would be silently reverted
+        # while the manifest recorded it as applied).
+        if overrides and "distribution" in dict(overrides):
+            distributions: tuple[str, ...] = (config.distribution,)
+        else:
+            distributions = scenario.distributions or (config.distribution,)
+        results: dict[str, Union[SweepResult, ComparisonResult]] = {}
+        for distribution in distributions:
+            dist_config = (
+                config
+                if distribution == config.distribution
+                else replace(config, distribution=distribution)
+            )
+            if scenario.sweep is not None:
+                results[distribution] = execute_sweep(
+                    dist_config,
+                    scenario.sweep,
+                    scenario.strategies,
+                    resolved_runs,
+                    jobs=self.jobs,
+                    fast=fast,
+                )
+            else:
+                results[distribution] = run_comparison(
+                    dist_config,
+                    scenario.strategies,
+                    runs=resolved_runs,
+                    jobs=self.jobs,
+                )
+        return ScenarioRun(
+            scenario=scenario,
+            config=config,
+            runs=resolved_runs,
+            jobs=self.jobs,
+            fast=fast,
+            results=results,
+        )
+
+    def run_and_record(self, *args, **kwargs):
+        """:meth:`run`, then persist; returns ``(run, manifest_path)``."""
+        run = self.run(*args, **kwargs)
+        path = self.store.write(run) if self.store is not None else None
+        return run, path

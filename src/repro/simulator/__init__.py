@@ -19,7 +19,9 @@ from .phase1 import (
 )
 from .phase2 import (
     PAPER_STRATEGIES,
+    PRACTICAL_STRATEGIES,
     build_strategy,
+    known_strategy_labels,
     run_strategy,
     strategy_labels,
 )
@@ -37,6 +39,7 @@ __all__ = [
     "AggregateResult",
     "ComparisonResult",
     "PAPER_STRATEGIES",
+    "PRACTICAL_STRATEGIES",
     "Phase1Result",
     "SimulationConfig",
     "StrategyResult",
@@ -48,6 +51,7 @@ __all__ = [
     "generate_sstables",
     "generate_sstables_fast",
     "generate_sstables_reference",
+    "known_strategy_labels",
     "run_comparison",
     "run_strategy",
     "strategy_labels",

@@ -1,4 +1,13 @@
-"""Command-line entry point for one-off simulator runs.
+"""Deprecated CLI shim: one-off simulator runs.
+
+``python -m repro.simulator`` predates the unified ``python -m repro``
+CLI and is kept working with byte-identical stdout: the flags parse
+exactly as before, the comparison runs through the same
+:func:`~repro.simulator.runner.run_comparison`, and the table renders
+through :func:`~repro.scenarios.runner.render_comparison_table` — the
+one renderer the unified CLI also uses for comparison scenarios.  The
+deprecation note goes to stderr so scripted captures of stdout keep
+working.
 
 Examples::
 
@@ -11,15 +20,20 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Optional, Sequence
 
-from ..analysis.tables import format_table
 from .config import SimulationConfig
 from .phase2 import strategy_labels
 from .runner import run_comparison
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    print(
+        "note: `python -m repro.simulator` is deprecated; "
+        "use `python -m repro run` / `python -m repro sweep`",
+        file=sys.stderr,
+    )
     parser = argparse.ArgumentParser(
         prog="python -m repro.simulator",
         description="Run the paper's two-phase compaction simulator once.",
@@ -69,38 +83,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     labels = tuple(label.strip() for label in args.strategies.split(",") if label.strip())
     comparison = run_comparison(config, labels, runs=args.runs, jobs=args.jobs)
 
-    rows = []
-    for label in labels:
-        agg = comparison.per_strategy[label]
-        rows.append(
-            [
-                label,
-                agg.cost_actual_mean,
-                agg.cost_actual_std,
-                agg.cost_over_lopt,
-                agg.simulated_seconds_mean + agg.strategy_overhead_mean,
-                agg.strategy_overhead_mean,
-            ]
-        )
-    print(
-        format_table(
-            [
-                "strategy",
-                "costactual mean",
-                "std",
-                "cost/LOPT",
-                "sim seconds",
-                "overhead s",
-            ],
-            rows,
-            float_digits=3,
-            title=(
-                f"distribution={config.distribution}, "
-                f"update={config.update_fraction:.0%}, k={config.k}, "
-                f"ops={config.operationcount}, runs={comparison.runs}"
-            ),
-        )
-    )
+    from ..scenarios.runner import render_comparison_table
+
+    print(render_comparison_table(config, comparison, labels))
     return 0
 
 

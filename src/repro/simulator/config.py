@@ -10,7 +10,8 @@ paper's defaults are the §5.2 settings: recordcount 1000, operationcount
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Mapping
 
 from ..errors import ConfigError
 from ..lsm.disk import (
@@ -31,6 +32,17 @@ class SimulationConfig:
     distribution: str = "latest"
     update_fraction: float = 1.0
     k: int = 2
+    # Optional non-write proportions of the operation mix, as absolute
+    # fractions of all run-phase operations.  The paper's experiments use
+    # insert/update mixes only (all three default to 0.0, which keeps
+    # the historical mix semantics bit-for-bit); scenario presets layer
+    # reads, scans and deletes on top.  ``update_fraction`` keeps its
+    # paper meaning — the update share of the remaining *insert/update*
+    # slice — so ``insert = w * (1 - u)`` and ``update = w * u`` where
+    # ``w = 1 - read - scan - delete``.
+    read_fraction: float = 0.0
+    scan_fraction: float = 0.0
+    delete_fraction: float = 0.0
     value_size: int = 100
     memtable_mode: str = "append"  # paper semantics: capacity counts ops
     bloom_fp_rate: float = 0.01
@@ -87,6 +99,18 @@ class SimulationConfig:
             )
         if not 0.0 <= self.update_fraction <= 1.0:
             raise ConfigError("update_fraction must be in [0, 1]")
+        for name in ("read_fraction", "scan_fraction", "delete_fraction"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+        # Tolerance matches workload_config's clamp: an exactly-100%
+        # non-write mix must neither be rejected here (float sum can
+        # land at 1.0 + 2e-16) nor produce a negative write share later.
+        non_write = self.read_fraction + self.scan_fraction + self.delete_fraction
+        if non_write > 1.0 + 1e-9:
+            raise ConfigError(
+                "read_fraction + scan_fraction + delete_fraction must not "
+                "exceed 1.0"
+            )
         if self.k < 2:
             raise ConfigError("merge fan-in k must be at least 2")
         if self.memtable_capacity < 1:
@@ -95,11 +119,26 @@ class SimulationConfig:
             raise ConfigError("parallel_lanes must be at least 1")
 
     def workload_config(self) -> WorkloadConfig:
-        """The YCSB workload this simulation drives."""
-        return WorkloadConfig.insert_update_mix(
-            update_fraction=self.update_fraction,
+        """The YCSB workload this simulation drives.
+
+        With the non-write fractions at their 0.0 defaults this is the
+        paper's pure insert/update mix, with proportions identical to
+        the historical :meth:`WorkloadConfig.insert_update_mix` call —
+        the write stream (and therefore every figure) is bit-for-bit
+        unchanged.
+        """
+        write_share = max(
+            0.0,
+            1.0 - self.read_fraction - self.scan_fraction - self.delete_fraction,
+        )
+        return WorkloadConfig(
             recordcount=self.recordcount,
             operationcount=self.operationcount,
+            insert_proportion=write_share * (1.0 - self.update_fraction),
+            update_proportion=write_share * self.update_fraction,
+            read_proportion=self.read_fraction,
+            scan_proportion=self.scan_fraction,
+            delete_proportion=self.delete_fraction,
             distribution=self.distribution,
             seed=self.seed,
             value_size=self.value_size,
@@ -114,6 +153,72 @@ class SimulationConfig:
     def with_seed(self, seed: int) -> "SimulationConfig":
         """The same configuration with a different RNG seed."""
         return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Round-tripping (the declarative scenario layer stores configs as
+    # plain dicts so specs can live as JSON).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """All fields as a JSON-serializable dict (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def _reject_unknown_fields(cls, data: Mapping[str, Any]) -> None:
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown SimulationConfig field(s) {unknown}; "
+                f"known: {sorted(known)}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`~repro.errors.ConfigError` so a typo
+        in a JSON spec fails loudly instead of silently using a default;
+        omitted keys take the field defaults, which lets specs stay
+        minimal.
+        """
+        cls._reject_unknown_fields(data)
+        try:
+            return cls(**dict(data))
+        except TypeError as exc:
+            raise ConfigError(f"invalid SimulationConfig value: {exc}") from None
+
+    def overridden(self, overrides: Mapping[str, Any]) -> "SimulationConfig":
+        """``replace`` with field-name validation (used by CLI ``--set``)."""
+        self._reject_unknown_fields(overrides)
+        if not overrides:
+            return self
+        try:
+            return replace(self, **dict(overrides))
+        except TypeError as exc:
+            # e.g. --set k=two: the validation comparison in
+            # __post_init__ raises TypeError on a non-numeric value.
+            raise ConfigError(f"invalid SimulationConfig value: {exc}") from None
+
+    def describe(self) -> str:
+        """One line summarizing the run-defining knobs (for CLI/manifests)."""
+        parts = [
+            f"{self.distribution}",
+            f"update={self.update_fraction:.0%}",
+            f"ops={self.operationcount}",
+            f"records={self.recordcount}",
+            f"memtable={self.memtable_capacity}",
+            f"k={self.k}",
+            f"backend={self.backend}",
+            f"estimator={self.estimator}",
+            f"seed={self.seed}",
+        ]
+        for name in ("read_fraction", "scan_fraction", "delete_fraction"):
+            value = getattr(self, name)
+            if value:
+                parts.append(f"{name.split('_')[0]}={value:.0%}")
+        if self.data_plane != "auto":
+            parts.append(f"data_plane={self.data_plane}")
+        return " ".join(parts)
 
     @classmethod
     def figure7(

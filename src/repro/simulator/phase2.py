@@ -19,7 +19,10 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..errors import CompactionError
+from ..lsm.compaction.base import CompactionStrategy
+from ..lsm.compaction.leveled import LeveledCompaction
 from ..lsm.compaction.major import MajorCompaction
+from ..lsm.compaction.size_tiered import SizeTieredCompaction
 from ..lsm.disk import SimulatedDisk
 from ..lsm.sstable import SSTable
 from .config import SimulationConfig
@@ -37,6 +40,12 @@ PAPER_STRATEGIES: dict[str, tuple[str, bool]] = {
     "SO(exact)": ("smallest_output", False),
 }
 
+#: Related-work baselines shipped in real systems (Cassandra's
+#: size-tiered, LevelDB's leveled).  They are not major compactions —
+#: they emit several output tables — but share the strategy interface
+#: and metrics, so scenarios can grid them against the paper's policies.
+PRACTICAL_STRATEGIES: tuple[str, ...] = ("STCS", "LEVELED")
+
 #: Labels whose estimator is pinned regardless of the config (the
 #: remaining estimator-capable labels follow ``config.estimator``).
 _PINNED_ESTIMATORS: dict[str, str] = {"SO(exact)": "exact"}
@@ -50,17 +59,41 @@ def strategy_labels() -> tuple[str, ...]:
     return ("SI", "SO", "BT(I)", "BT(O)", "RANDOM")
 
 
+def known_strategy_labels() -> tuple[str, ...]:
+    """Every label :func:`build_strategy` accepts (paper + practical)."""
+    return tuple(PAPER_STRATEGIES) + PRACTICAL_STRATEGIES
+
+
 def build_strategy(
     label: str,
     config: SimulationConfig,
     seed: Optional[int] = None,
-) -> MajorCompaction:
-    """Instantiate the MajorCompaction behind a paper strategy label."""
+) -> CompactionStrategy:
+    """Instantiate the compaction strategy behind a label."""
+    # The reference data plane pins the heap merge kernel on every
+    # strategy so differential timings compare the pre-vectorization
+    # path end to end; the kernels are bit-identical either way.
+    merge_kernel = "heap" if config.data_plane == "reference" else "auto"
+    if label == "STCS":
+        return SizeTieredCompaction(
+            bloom_fp_rate=config.bloom_fp_rate, merge_kernel=merge_kernel
+        )
+    if label == "LEVELED":
+        # Size the level targets off the memtable so the shape scales
+        # with the workload (matches the related-work bench settings at
+        # the Figure 7 scale: target 1000, base level 4000).
+        return LeveledCompaction(
+            table_target_entries=config.memtable_capacity,
+            base_level_entries=4 * config.memtable_capacity,
+            bloom_fp_rate=config.bloom_fp_rate,
+            merge_kernel=merge_kernel,
+        )
     try:
         policy, parallel = PAPER_STRATEGIES[label]
     except KeyError:
         raise CompactionError(
-            f"unknown strategy label {label!r}; known: {sorted(PAPER_STRATEGIES)}"
+            f"unknown strategy label {label!r}; "
+            f"known: {sorted(known_strategy_labels())}"
         ) from None
     kwargs: dict = {}
     estimator = None
@@ -75,10 +108,7 @@ def build_strategy(
         seed=seed if seed is not None else config.seed,
         backend=config.backend,
         estimator=estimator,
-        # The reference data plane pins the heap merge kernel so the
-        # differential harness can time/compare the pre-vectorization
-        # path end to end; the kernels are bit-identical either way.
-        merge_kernel="heap" if config.data_plane == "reference" else "auto",
+        merge_kernel=merge_kernel,
         **kwargs,
     )
 

@@ -190,22 +190,42 @@ def sweep_memtable_capacity(
     seed: int = 0,
     backend: str | None = None,
     jobs: int = 1,
+    base: SimulationConfig | None = None,
 ) -> SweepResult:
     """Figure 8's x-axis: memtable size with a fixed sstable count.
 
-    ``backend=None`` keeps the config default (frozenset).
+    ``backend=None`` keeps the config default (frozenset).  When
+    ``base`` is given, every point derives from it (keeping its
+    estimator/data-plane/... fields) with only the capacity and the
+    implied ``operationcount = capacity * n_sstables - recordcount``
+    replaced — the scenario layer's path; ``distribution``/``seed``/
+    ``backend`` are then ignored.  A ``base`` equal to
+    :meth:`SimulationConfig.figure8` defaults produces configs identical
+    to the classic path.
     """
     labels = tuple(labels) if labels is not None else ("BT(I)",)
     points = []
     for capacity in capacities:
-        config = SimulationConfig.figure8(
-            memtable_capacity=capacity,
-            n_sstables=n_sstables,
-            distribution=distribution,
-            seed=seed,
-        )
-        if backend is not None:
-            config = replace(config, backend=backend)
+        if base is not None:
+            operationcount = capacity * n_sstables - base.recordcount
+            if operationcount < 0:
+                raise ConfigError(
+                    "memtable_capacity * n_sstables must cover the recordcount"
+                )
+            config = replace(
+                base,
+                memtable_capacity=capacity,
+                operationcount=operationcount,
+            )
+        else:
+            config = SimulationConfig.figure8(
+                memtable_capacity=capacity,
+                n_sstables=n_sstables,
+                distribution=distribution,
+                seed=seed,
+            )
+            if backend is not None:
+                config = replace(config, backend=backend)
         points.append((float(capacity), config))
     return _sweep("memtable_capacity", points, labels, runs, jobs)
 

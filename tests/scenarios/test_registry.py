@@ -1,0 +1,79 @@
+"""The built-in registry: legacy figures + new presets, by contract."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import REGISTRY, Scenario, ScenarioRegistry
+from repro.simulator import SimulationConfig
+
+LEGACY_FIGURES = ("fig7a", "fig7b", "fig8", "fig9a", "fig9b")
+NEW_PRESETS = ("read-heavy", "timeseries-scan", "churn")
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("name", LEGACY_FIGURES)
+    def test_every_legacy_figure_registered(self, name):
+        assert name in REGISTRY
+
+    @pytest.mark.parametrize("name", NEW_PRESETS)
+    def test_new_presets_registered(self, name):
+        scenario = REGISTRY.get(name)
+        assert "preset" in scenario.tags
+
+    def test_at_least_three_presets_beyond_legacy_drivers(self):
+        """The presets need mix shapes the old figure CLIs had no flags for."""
+        presets = REGISTRY.scenarios("preset")
+        assert len(presets) >= 3
+        for scenario in presets:
+            config = scenario.config
+            assert (
+                config.read_fraction > 0
+                or config.scan_fraction > 0
+                or config.delete_fraction > 0
+            ), scenario.name
+
+    def test_ablations_registered(self):
+        assert "distributions" in REGISTRY
+        practical = REGISTRY.get("practical")
+        assert "STCS" in practical.strategies
+        assert "LEVELED" in practical.strategies
+
+    def test_fig7a_matches_paper_settings(self):
+        scenario = REGISTRY.get("fig7a")
+        assert scenario.config == SimulationConfig.figure7(0.0, "latest")
+        assert scenario.sweep.parameter == "update_fraction"
+        assert scenario.sweep.values == (0.0, 0.25, 0.5, 0.75, 1.0)
+        assert scenario.runs == 3
+
+    def test_fig8_sweep_shape(self):
+        scenario = REGISTRY.get("fig8")
+        assert scenario.sweep.parameter == "memtable_capacity"
+        assert scenario.sweep.values == (10, 100, 1000, 10_000)
+        assert scenario.sweep.fast_values == (10, 100, 1000)
+        assert scenario.sweep.n_sstables == 100
+        assert scenario.strategies == ("BT(I)",)
+
+    def test_fig9_distribution_axis(self):
+        for name in ("fig9a", "fig9b"):
+            assert REGISTRY.get(name).distributions == (
+                "uniform", "zipfian", "latest"
+            )
+
+
+class TestRegistryBehavior:
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        scenario = Scenario("dup", "t", SimulationConfig())
+        registry.register(scenario)
+        with pytest.raises(ScenarioError):
+            registry.register(scenario)
+        registry.register(scenario, replace=True)  # explicit override ok
+        assert len(registry) == 1
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ScenarioError, match="fig7a"):
+            REGISTRY.get("nope")
+
+    def test_tag_filtering(self):
+        figures = REGISTRY.scenarios("figure")
+        assert {scenario.name for scenario in figures} == set(LEGACY_FIGURES)

@@ -1,0 +1,107 @@
+"""Round-trip and validation tests for the declarative scenario spec."""
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import REGISTRY, Scenario, SweepSpec
+from repro.simulator import SimulationConfig
+
+
+class TestSweepSpec:
+    def test_roundtrip(self):
+        spec = SweepSpec("update_fraction", (0.0, 0.5, 1.0), fast_values=(0.0,))
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_values_coerced_to_tuple(self):
+        spec = SweepSpec("operationcount", [1000, 2000])
+        assert spec.values == (1000, 2000)
+
+    def test_fast_values_selection(self):
+        spec = SweepSpec("update_fraction", (0.0, 1.0), fast_values=(0.5,))
+        assert spec.values_for(fast=False) == (0.0, 1.0)
+        assert spec.values_for(fast=True) == (0.5,)
+        assert SweepSpec("update_fraction", (0.0,)).values_for(True) == (0.0,)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ScenarioError):
+            SweepSpec("disk_bandwidth", (1.0,))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ScenarioError):
+            SweepSpec("update_fraction", ())
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ScenarioError):
+            SweepSpec.from_dict({"parameter": "update_fraction", "values": [1], "vibes": 1})
+
+
+class TestScenarioValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario("x", "t", SimulationConfig(), strategies=("WAT",))
+
+    def test_empty_strategies_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario("x", "t", SimulationConfig(), strategies=())
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario("x", "t", SimulationConfig(), distributions=("gaussian",))
+
+    def test_bad_fast_override_rejected_at_construction(self):
+        with pytest.raises(Exception):  # ConfigError via overridden()
+            Scenario("x", "t", SimulationConfig(), fast_overrides={"nope": 1})
+
+    def test_fast_overrides_tuple_form_normalized_like_dict(self):
+        """Unsorted pair-tuple input must round-trip (sorted) like a dict."""
+        scenario = Scenario(
+            "x", "t", SimulationConfig(),
+            fast_overrides=(("operationcount", 10), ("k", 3)),
+        )
+        assert scenario.fast_overrides == (("k", 3), ("operationcount", 10))
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_fast_overrides_dict_normalized(self):
+        scenario = Scenario(
+            "x", "t", SimulationConfig(), fast_overrides={"operationcount": 10}
+        )
+        assert scenario.fast_overrides == (("operationcount", 10),)
+        assert scenario.config_for(fast=True).operationcount == 10
+        assert scenario.config_for(fast=False) == scenario.config
+
+    def test_runs_resolution(self):
+        scenario = Scenario("x", "t", SimulationConfig(), runs=5, fast_runs=2)
+        assert scenario.runs_for() == 5
+        assert scenario.runs_for(fast=True) == 2
+        assert scenario.runs_for(fast=True, runs=9) == 9
+
+
+class TestRegisteredScenarioRoundtrips:
+    """The satellite contract: dict -> Scenario -> dict is idempotent."""
+
+    @pytest.mark.parametrize("name", REGISTRY.names())
+    def test_spec_roundtrip(self, name):
+        scenario = REGISTRY.get(name)
+        data = scenario.to_dict()
+        rebuilt = Scenario.from_dict(data)
+        assert rebuilt == scenario
+        assert rebuilt.to_dict() == data
+
+    @pytest.mark.parametrize("name", REGISTRY.names())
+    def test_json_roundtrip_and_hash_stability(self, name):
+        scenario = REGISTRY.get(name)
+        via_json = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert via_json == scenario
+        assert via_json.spec_hash() == scenario.spec_hash()
+
+    def test_hashes_distinct_across_registry(self):
+        hashes = {scenario.spec_hash() for scenario in REGISTRY}
+        assert len(hashes) == len(REGISTRY)
+
+    def test_spec_version_guard(self):
+        data = REGISTRY.get("fig7a").to_dict()
+        data["spec_version"] = 99
+        with pytest.raises(ScenarioError):
+            Scenario.from_dict(data)

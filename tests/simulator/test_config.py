@@ -81,6 +81,110 @@ class TestPresets:
         assert other.operationcount == config.operationcount
 
 
+class TestMixFractions:
+    def test_defaults_keep_paper_mix_exactly(self):
+        """Zero read/scan/delete fractions reproduce the historical mix."""
+        config = SimulationConfig.figure7(0.25)
+        workload = config.workload_config()
+        assert workload.update_proportion == 0.25
+        assert workload.insert_proportion == 0.75
+        assert workload.read_proportion == 0.0
+        assert workload.scan_proportion == 0.0
+        assert workload.delete_proportion == 0.0
+
+    def test_full_mix_proportions(self):
+        config = SimulationConfig(
+            update_fraction=0.5,
+            read_fraction=0.4,
+            scan_fraction=0.1,
+            delete_fraction=0.1,
+        )
+        workload = config.workload_config()
+        assert workload.read_proportion == pytest.approx(0.4)
+        assert workload.scan_proportion == pytest.approx(0.1)
+        assert workload.delete_proportion == pytest.approx(0.1)
+        # remaining 0.4 write slice split by update_fraction
+        assert workload.insert_proportion == pytest.approx(0.2)
+        assert workload.update_proportion == pytest.approx(0.2)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(read_fraction=1.5)
+        with pytest.raises(ConfigError):
+            SimulationConfig(delete_fraction=-0.1)
+
+    def test_fractions_must_not_exceed_one(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(read_fraction=0.6, scan_fraction=0.3, delete_fraction=0.2)
+
+    def test_exact_full_non_write_mix_survives_float_rounding(self):
+        """Sums that are 1.0 up to float error must neither be rejected
+        at construction nor crash workload_config with a negative
+        write share."""
+        config = SimulationConfig(
+            read_fraction=0.33, scan_fraction=0.56, delete_fraction=0.11
+        )
+        workload = config.workload_config()  # sum is 1.0000000000000002
+        assert workload.insert_proportion >= 0.0
+        config = SimulationConfig(scan_fraction=0.07, delete_fraction=0.93)
+        workload = config.workload_config()  # write share is -1.1e-16
+        assert workload.insert_proportion == 0.0
+        assert workload.update_proportion == 0.0
+
+
+class TestRoundTrip:
+    """The scenario-layer contract: from_dict(to_dict(cfg)) == cfg."""
+
+    CONFIGS = [
+        SimulationConfig(),
+        SimulationConfig.figure7(0.5, "zipfian", seed=7),
+        SimulationConfig.figure8(memtable_capacity=100),
+        SimulationConfig(
+            update_fraction=0.3,
+            read_fraction=0.5,
+            scan_fraction=0.1,
+            delete_fraction=0.1,
+            backend="frozenset",
+            estimator="exact",
+            data_plane="reference",
+            k=4,
+        ),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_roundtrip_identity(self, config):
+        data = config.to_dict()
+        rebuilt = SimulationConfig.from_dict(data)
+        assert rebuilt == config
+        assert rebuilt.to_dict() == data
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="vibes"):
+            SimulationConfig.from_dict({"vibes": 1})
+
+    def test_from_dict_accepts_partial_dicts(self):
+        config = SimulationConfig.from_dict({"operationcount": 42})
+        assert config.operationcount == 42
+        assert config.recordcount == SimulationConfig().recordcount
+
+    def test_overridden_validates_field_names(self):
+        config = SimulationConfig()
+        assert config.overridden({}).operationcount == config.operationcount
+        assert config.overridden({"k": 4}).k == 4
+        with pytest.raises(ConfigError):
+            config.overridden({"not_a_field": 1})
+
+    def test_describe_mentions_key_knobs(self):
+        config = SimulationConfig(
+            update_fraction=0.5, read_fraction=0.25, seed=9, data_plane="fast"
+        )
+        text = config.describe()
+        assert "update=50%" in text
+        assert "read=25%" in text
+        assert "seed=9" in text
+        assert "data_plane=fast" in text
+
+
 class TestDerivedObjects:
     def test_workload_config(self):
         config = SimulationConfig.figure7(0.25)

@@ -1,0 +1,110 @@
+"""The legacy entry points keep working with byte-identical stdout.
+
+``python -m repro.simulator`` and ``python -m repro.analysis.experiments``
+are deprecation shims over the unified CLI's machinery.  These tests pin
+the contract: on a small config the shims' stdout is byte-identical to
+the canonical rendering of the same computation (the deprecation note
+goes to stderr only), and the figure shim prints exactly what
+``python -m repro figures`` prints for the same request.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.experiments import main as experiments_main
+from repro.cli import main as cli_main
+from repro.scenarios.runner import render_comparison_table
+from repro.simulator import SimulationConfig, run_comparison
+from repro.simulator.__main__ import main as simulator_main
+
+TINY_ARGS = [
+    "--recordcount", "120",
+    "--operationcount", "600",
+    "--memtable", "120",
+    "--runs", "1",
+    "--update-fraction", "0.5",
+    "--strategies", "SI,RANDOM",
+    "--seed", "3",
+]
+
+
+class TestSimulatorShim:
+    def test_stdout_byte_identical_to_canonical_rendering(self, capsys):
+        """The shim prints exactly the historical comparison table."""
+        assert simulator_main(TINY_ARGS) == 0
+        captured = capsys.readouterr()
+
+        config = SimulationConfig(
+            recordcount=120,
+            operationcount=600,
+            memtable_capacity=120,
+            distribution="latest",
+            update_fraction=0.5,
+            k=2,
+            seed=3,
+            data_plane="auto",
+        )
+        labels = ("SI", "RANDOM")
+        comparison = run_comparison(config, labels, runs=1, jobs=1)
+        expected = render_comparison_table(config, comparison, labels) + "\n"
+
+        # costs/LOPT columns are deterministic; the overhead column
+        # rounds to 3 digits, far above wall-clock jitter at this scale.
+        assert captured.out == expected
+
+    def test_deprecation_note_on_stderr_only(self, capsys):
+        assert simulator_main(TINY_ARGS) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "deprecated" not in captured.out
+
+
+class TestExperimentsShim:
+    def test_stdout_byte_identical_to_unified_figures(self, capsys, monkeypatch):
+        """Shim and ``repro figures`` print the same bytes for one request.
+
+        ``run_experiment`` is stubbed so the comparison exercises the
+        whole CLI plumbing (parsing, dispatch, printing, --out handling)
+        without a paper-scale sweep.
+        """
+        calls = []
+
+        def fake_run_experiment(experiment_id, **kwargs):
+            calls.append((experiment_id, kwargs))
+            return [
+                ExperimentResult(
+                    experiment_id,
+                    "stub title",
+                    "stub body",
+                    {"SI": [(0.0, 1.0)]},
+                    {"runs": kwargs.get("runs")},
+                )
+            ]
+
+        monkeypatch.setattr(experiments, "run_experiment", fake_run_experiment)
+
+        assert experiments_main(["fig7a", "--runs", "2", "--jobs", "3"]) == 0
+        shim = capsys.readouterr()
+        assert cli_main(["figures", "fig7a", "--runs", "2", "--jobs", "3"]) == 0
+        unified = capsys.readouterr()
+
+        assert shim.out == unified.out
+        assert shim.out.startswith("== fig7a: stub title ==")
+        assert "deprecated" in shim.err
+        assert "deprecated" not in unified.err
+        # both invocations parsed to the same request
+        assert calls[0] == calls[1]
+
+    def test_out_writes_files(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            experiments,
+            "run_experiment",
+            lambda experiment_id, **kwargs: [
+                ExperimentResult(experiment_id, "t", "body", {}, {})
+            ],
+        )
+        out_dir = tmp_path / "figs"
+        assert experiments_main(["fig8", "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert (out_dir / "fig8.txt").read_text() == "t\n\nbody\n"
