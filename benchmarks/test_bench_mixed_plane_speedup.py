@@ -1,0 +1,154 @@
+"""Universal fast plane ablation: map mode and read mixes run columnar.
+
+PR 3's pipeline bench pinned the fast plane's win for append-mode,
+writes-only configs; every other scenario silently fell back to the
+operation-at-a-time reference loop.  This bench pins the generalized
+plane: at figure-7 scale, **phase 1 end to end** (YCSB generation +
+memtable flushes) must run at least 3x faster on ``data_plane="auto"``
+than on ``data_plane="reference"`` for
+
+* a **map-mode** config (distinct-key memtable capacity, whose flush
+  boundaries are data-dependent and found by the chunked running
+  distinct-count slab kernel), and
+* the **read-heavy** registered preset (80% reads over zipfian, whose
+  read draws are consumed and dropped before the memtable),
+
+while producing **byte-identical** sstables and identical phase-2
+metrics on both planes.
+
+Writes ``results/ablation_mixed_plane_speedup.txt`` and
+``results/BENCH_mixed_plane_speedup.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import pytest
+
+np = pytest.importorskip(
+    "numpy",
+    reason="the speedup bar is defined for the vectorized kernels",
+    exc_type=ImportError,
+)
+
+from repro.analysis.tables import format_table
+from repro.scenarios import REGISTRY
+from repro.simulator import (
+    SimulationConfig,
+    generate_sstables,
+    resolve_plane,
+    run_strategy,
+)
+
+from conftest import write_artifact, write_bench_json
+
+REPEATS = 3  # best-of timing to damp scheduler noise
+STRATEGY = "SI"
+
+
+def best_of_phase1(config: SimulationConfig):
+    """Best-of-N timed phase 1; returns (seconds, result)."""
+    best_seconds, result = float("inf"), None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        this_result = generate_sstables(config)
+        seconds = time.perf_counter() - started
+        if seconds < best_seconds:
+            best_seconds, result = seconds, this_result
+    return best_seconds, result
+
+
+def assert_identical(config, reference, fast):
+    assert reference.plane_used == "reference"
+    assert fast.plane_used == "fast"
+    assert reference.total_operations == fast.total_operations
+    assert reference.total_entries == fast.total_entries
+    assert len(reference.tables) == len(fast.tables)
+    for ref_table, fast_table in zip(reference.tables, fast.tables):
+        assert ref_table.records == fast_table.records
+        assert ref_table.size_bytes == fast_table.size_bytes
+    # Phase 2 metrics must agree too (untimed: the plane only changes
+    # phase 1 here; the merge kernels were certified by PR 3's bench).
+    ref_metrics = run_strategy(
+        reference.tables, STRATEGY, replace(config, data_plane="reference")
+    )
+    fast_metrics = run_strategy(fast.tables, STRATEGY, config)
+    assert ref_metrics.cost_actual == fast_metrics.cost_actual
+    assert ref_metrics.bytes_read == fast_metrics.bytes_read
+    assert ref_metrics.bytes_written == fast_metrics.bytes_written
+    assert ref_metrics.simulated_seconds == fast_metrics.simulated_seconds
+
+
+def test_mixed_plane_at_least_3x_faster(bench_fast, results_dir):
+    min_speedup = 2.0 if bench_fast else 3.0
+    operationcount = 20_000 if bench_fast else 100_000
+
+    cases = {
+        "map-mode": replace(
+            SimulationConfig.figure7(0.5),
+            operationcount=operationcount,
+            memtable_mode="map",
+        ),
+        "read-heavy": replace(
+            REGISTRY.get("read-heavy").config, operationcount=operationcount
+        ),
+    }
+
+    rows = []
+    measured = {}
+    for name, config in cases.items():
+        assert resolve_plane(config) == "fast", name
+        fast_seconds, fast_result = best_of_phase1(config)
+        ref_seconds, ref_result = best_of_phase1(
+            replace(config, data_plane="reference")
+        )
+        assert_identical(config, ref_result, fast_result)
+        speedup = ref_seconds / fast_seconds
+        measured[name] = {
+            "baseline_seconds": ref_seconds,
+            "optimized_seconds": fast_seconds,
+            "speedup": speedup,
+            "n_tables": fast_result.n_tables,
+            "total_entries": fast_result.total_entries,
+        }
+        rows.append(
+            [name, fast_result.n_tables, ref_seconds, fast_seconds, speedup]
+        )
+
+    table = format_table(
+        ["scenario", "tables", "reference s", "fast s", "speedup"],
+        rows,
+        float_digits=3,
+        title=(
+            f"phase 1 end to end, ops={operationcount}, "
+            f"fast={bench_fast} (best of {REPEATS})"
+        ),
+    )
+
+    class _Artifact:
+        title = (
+            "Universal fast plane ablation: map-mode + read-heavy phase 1 "
+            "vs the reference loop (fig7 scale)"
+        )
+        text = table
+
+    write_artifact(results_dir, "ablation_mixed_plane_speedup", _Artifact())
+    write_bench_json(
+        results_dir,
+        "mixed_plane_speedup",
+        {
+            "strategy": STRATEGY,
+            "operationcount": operationcount,
+            "repeats": REPEATS,
+            "min_speedup_bar": min_speedup,
+            "points": measured,
+        },
+    )
+
+    worst = min(values["speedup"] for values in measured.values())
+    assert worst >= min_speedup, (
+        f"mixed-plane speedup {worst:.2f}x below the {min_speedup}x bar "
+        f"({measured})"
+    )

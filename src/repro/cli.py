@@ -36,6 +36,7 @@ from .scenarios import (
     Scenario,
     SweepSpec,
 )
+from .scenarios.spec import SWEEP_PARAMETERS
 from .scenarios.store import DEFAULT_STORE_ROOT
 from .simulator.config import SimulationConfig
 
@@ -122,6 +123,12 @@ def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="do not write a run manifest",
     )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print execution details (which data plane phase 1 ran on, "
+        "resolved runs/jobs) after the report",
+    )
 
 
 def _collect_overrides(args: argparse.Namespace) -> dict[str, Any]:
@@ -155,6 +162,11 @@ def _execute(args: argparse.Namespace, scenario: Scenario | str) -> int:
         strategies=strategies,
     )
     print(run.render(), end="")
+    if args.verbose:
+        print(
+            f"\n[data plane: {run.plane_used}; runs={run.runs} "
+            f"jobs={run.jobs}]"
+        )
     if path is not None:
         print(f"\n[manifest written to {path}]")
     return 0
@@ -299,7 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--parameter",
         required=True,
-        choices=["update_fraction", "memtable_capacity", "operationcount"],
+        choices=list(SWEEP_PARAMETERS),
     )
     sweep.add_argument(
         "--values", required=True, help="comma-separated sweep values"

@@ -148,6 +148,41 @@ class SortedMapMemtable(Memtable):
         return records
 
 
+def distinct_capacity_boundaries(
+    keys: Sequence[Hashable], capacity: int
+) -> list[tuple[int, int]]:
+    """Flush epochs of a map-mode memtable over a write-key stream.
+
+    Returns ``(start, stop)`` index ranges such that feeding
+    ``keys[start:stop]`` into a fresh :class:`SortedMapMemtable` of
+    ``capacity`` distinct keys reproduces exactly the engine's flush
+    behaviour: the engine flushes *before* the first write after an
+    epoch's distinct-key count reaches capacity, so every epoch is the
+    maximal prefix whose distinct count is at most ``capacity`` and ends
+    on the write that first reaches it.  This is the reference for the
+    batched data plane's map-mode slab cutter (and its numpy-less
+    fallback); the vectorized kernel in
+    :mod:`repro.simulator.phase1` must match it index for index.
+    """
+    if capacity < 1:
+        raise ConfigError("memtable capacity must be at least 1")
+    boundaries: list[tuple[int, int]] = []
+    start = 0
+    seen: set = set()
+    add = seen.add
+    for index, key in enumerate(keys):
+        if key not in seen:
+            add(key)
+            if len(seen) == capacity:
+                boundaries.append((start, index + 1))
+                start = index + 1
+                seen = set()
+                add = seen.add
+    if start < len(keys):
+        boundaries.append((start, len(keys)))
+    return boundaries
+
+
 def make_memtable(mode: str, capacity_entries: int) -> Memtable:
     """Factory: ``"append"`` (paper simulator) or ``"map"`` (engine)."""
     if mode == "append":

@@ -1,9 +1,14 @@
 """The scenario registry: every experiment this repo can run, by name.
 
 The built-in entries re-express the paper's figures (fig7a/fig7b/fig8/
-fig9a/fig9b), the distribution and related-work ablations, and three
-workload presets the legacy drivers could not express at all
-(read-heavy, scan-heavy time-series, shrinking-key-space churn).
+fig9a/fig9b), the distribution and related-work ablations, workload
+presets the legacy drivers could not express at all (read-heavy,
+scan-heavy time-series, shrinking-key-space churn), the six canonical
+YCSB core workloads A-F, and kernel-knob sweeps (merge fan-in k, HLL
+precision).  Every entry runs the fast columnar data plane under
+``data_plane="auto"`` (asserted registry-wide by
+tests/scenarios/test_registry.py; a scenario that genuinely needs the
+operation-at-a-time loop must carry the ``reference-only`` tag).
 User code registers additional scenarios with
 ``REGISTRY.register(Scenario(...))`` or loads them from JSON specs via
 ``Scenario.from_dict``.
@@ -223,10 +228,119 @@ def _preset_scenarios() -> list[Scenario]:
     return [read_heavy, timeseries, churn]
 
 
+def _ycsb_scenarios() -> list[Scenario]:
+    """The canonical YCSB core workloads A-F as scenarios.
+
+    The operation mixes mirror :mod:`repro.ycsb.presets` expressed in
+    ``SimulationConfig``'s mix fields (``update_fraction`` is the update
+    share of the *write* slice, so a pure read/update mix sets it to
+    1.0).  Workload F's read-modify-write is modeled as an update — the
+    write half is what reaches the storage engine.  All six run the
+    columnar fast plane; reads and scans consume the rng stream and are
+    dropped before the memtable, exactly like the reference loop.
+    """
+    base = dict(
+        recordcount=1000,
+        operationcount=100_000,
+        memtable_capacity=1000,
+    )
+    mixes = {
+        "a": dict(
+            title="YCSB A: 50% read / 50% update (zipfian)",
+            config=SimulationConfig(
+                distribution="zipfian", update_fraction=1.0,
+                read_fraction=0.5, **base,
+            ),
+        ),
+        "b": dict(
+            title="YCSB B: 95% read / 5% update (zipfian)",
+            config=SimulationConfig(
+                distribution="zipfian", update_fraction=1.0,
+                read_fraction=0.95, **base,
+            ),
+        ),
+        "c": dict(
+            title="YCSB C: 100% read (zipfian)",
+            # Reads-only run phase: every sstable comes from the load
+            # phase, so a 10x recordcount keeps phase 2 non-trivial.
+            config=SimulationConfig(
+                distribution="zipfian", update_fraction=1.0,
+                read_fraction=1.0, **{**base, "recordcount": 10_000},
+            ),
+        ),
+        "d": dict(
+            title="YCSB D: 95% read / 5% insert (latest)",
+            config=SimulationConfig(
+                distribution="latest", update_fraction=0.0,
+                read_fraction=0.95, **base,
+            ),
+        ),
+        "e": dict(
+            title="YCSB E: 95% scan / 5% insert (zipfian)",
+            config=SimulationConfig(
+                distribution="zipfian", update_fraction=0.0,
+                scan_fraction=0.95, **base,
+            ),
+        ),
+        "f": dict(
+            title="YCSB F: 50% read / 50% read-modify-write (zipfian)",
+            config=SimulationConfig(
+                distribution="zipfian", update_fraction=1.0,
+                read_fraction=0.5, seed=1, **base,
+            ),
+        ),
+    }
+    return [
+        Scenario(
+            name=f"ycsb-{letter}",
+            title=entry["title"],
+            config=entry["config"],
+            fast_overrides=_FAST_OPS,
+            description="Canonical YCSB core workload "
+            f"{letter.upper()} (see repro.ycsb.presets) over the paper's "
+            "two-phase simulator.",
+            tags=("preset", "ycsb"),
+        )
+        for letter, entry in mixes.items()
+    ]
+
+
+def _sweep_scenarios() -> list[Scenario]:
+    """Kernel-knob grids (the scenario layer's newest sweep axes)."""
+    k_sweep = Scenario(
+        name="k-sweep",
+        title="merge fan-in ablation (k = 2..8, 50% updates)",
+        config=SimulationConfig.figure7(0.5, "latest", seed=5),
+        strategies=("SI", "BT(I)"),
+        sweep=SweepSpec("k", (2, 3, 4, 6, 8)),
+        fast_overrides=_FAST_OPS,
+        description="How the merge fan-in bound k trades re-merge cost "
+        "against tree depth for the input-sensitive policies.",
+        tags=("preset", "sweep"),
+    )
+    hll_sweep = Scenario(
+        name="hll-sweep",
+        title="HLL precision ablation (output-sensitive strategies)",
+        config=SimulationConfig.figure7(0.5, "latest", seed=13),
+        strategies=("SO", "BT(O)"),
+        sweep=SweepSpec("hll_precision", (8, 10, 12, 14)),
+        fast_overrides=_FAST_OPS,
+        description="Estimation resolution vs schedule quality: sweep "
+        "the HyperLogLog register count under the strategies that "
+        "consult it.",
+        tags=("preset", "sweep"),
+    )
+    return [k_sweep, hll_sweep]
+
+
 #: The process-wide registry, pre-populated with the built-ins.
 REGISTRY = ScenarioRegistry()
 for _scenario in (
-    _figure_scenarios() + _ablation_scenarios() + _preset_scenarios()
+    _figure_scenarios()
+    + _ablation_scenarios()
+    + _preset_scenarios()
+    + _ycsb_scenarios()
+    + _sweep_scenarios()
 ):
     REGISTRY.register(_scenario)
 del _scenario

@@ -21,10 +21,13 @@ from typing import Any, Mapping, Optional, Sequence, Union
 from ..errors import ScenarioError
 from ..simulator.config import SimulationConfig
 from ..simulator.metrics import AggregateResult
+from ..simulator.phase1 import resolve_plane
 from ..simulator.runner import (
     ComparisonResult,
     SweepResult,
     run_comparison,
+    sweep_hll_precision,
+    sweep_k,
     sweep_memtable_capacity,
     sweep_operationcount,
     sweep_update_fraction,
@@ -59,6 +62,12 @@ def execute_sweep(
             n_sstables=sweep.n_sstables,
             jobs=jobs,
             base=config,
+        )
+    if sweep.parameter == "k":
+        return sweep_k(config, [int(v) for v in values], labels, runs, jobs=jobs)
+    if sweep.parameter == "hll_precision":
+        return sweep_hll_precision(
+            config, [int(v) for v in values], labels, runs, jobs=jobs
         )
     raise ScenarioError(f"unknown sweep parameter {sweep.parameter!r}")
 
@@ -178,12 +187,24 @@ class ScenarioRun:
     #: distribution -> SweepResult or ComparisonResult
     results: dict[str, Union[SweepResult, ComparisonResult]]
 
+    @property
+    def plane_used(self) -> str:
+        """The data plane phase 1 ran on ("fast" or "reference").
+
+        Resolved from the run's base config; per-point resolution lives
+        on each :meth:`cells` row, so a plane flip inside a sweep (none
+        of the registered parameters can cause one today) would still be
+        recorded faithfully.
+        """
+        return resolve_plane(self.config)
+
     def cells(self) -> list[dict[str, Any]]:
         """Flat per-(distribution, x, strategy) metric rows for the store."""
         rows: list[dict[str, Any]] = []
         for distribution, result in self.results.items():
             if isinstance(result, SweepResult):
                 for point in result.points:
+                    plane = resolve_plane(point.config)
                     for label in result.labels:
                         rows.append(
                             {
@@ -195,16 +216,21 @@ class ScenarioRun:
                                 # fractions, not percentages.
                                 "parameter": result.parameter,
                                 "x": point.x,
+                                "plane_used": plane,
                                 **_cell_metrics(point.per_strategy[label]),
                             }
                         )
             else:
+                # Plane eligibility never depends on the distribution,
+                # so the base config's resolution covers every leg.
+                plane = self.plane_used
                 for label, agg in result.per_strategy.items():
                     rows.append(
                         {
                             "distribution": distribution,
                             "parameter": None,
                             "x": None,
+                            "plane_used": plane,
                             **_cell_metrics(agg),
                         }
                     )
@@ -215,8 +241,8 @@ class ScenarioRun:
         scenario = self.scenario
         lines = [
             f"== {scenario.name}: {scenario.title} ==",
-            f"spec {scenario.spec_hash()}  runs={self.runs} jobs={self.jobs}"
-            + ("  [fast]" if self.fast else ""),
+            f"spec {scenario.spec_hash()}  runs={self.runs} jobs={self.jobs} "
+            f"plane={self.plane_used}" + ("  [fast]" if self.fast else ""),
             f"config: {self.config.describe()}",
             "",
         ]

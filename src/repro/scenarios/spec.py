@@ -26,11 +26,14 @@ from ..simulator.config import SimulationConfig
 from ..simulator.phase2 import known_strategy_labels, strategy_labels
 from ..ycsb.distributions import available_distributions
 
-#: Sweepable SimulationConfig parameters, one per paper figure axis.
+#: Sweepable SimulationConfig parameters: one per paper figure axis,
+#: plus the kernel knobs the registry's ablation presets grid over.
 SWEEP_PARAMETERS: tuple[str, ...] = (
     "update_fraction",   # Figure 7 / 9a
     "memtable_capacity",  # Figure 8 (operationcount derived via n_sstables)
     "operationcount",    # Figure 9b
+    "k",                 # merge fan-in (k-sweep preset)
+    "hll_precision",     # estimator resolution (hll-sweep preset)
 )
 
 #: Version of the ``to_dict`` wire format (bumped on breaking changes).

@@ -61,6 +61,10 @@ class RunManifest:
     created_at: str
     cells: list[dict[str, Any]]
     git: Optional[str] = None
+    #: Data plane phase 1 ran on ("fast"/"reference"); None in manifests
+    #: written before the field existed.  Per-cell resolution lives on
+    #: each ``cells`` row under the same key.
+    plane_used: Optional[str] = None
     schema_version: int = SCHEMA_VERSION
     path: Optional[Path] = field(default=None, compare=False)
 
@@ -80,6 +84,7 @@ class RunManifest:
             "fast": self.fast,
             "created_at": self.created_at,
             "git": self.git,
+            "plane_used": self.plane_used,
             "cells": self.cells,
         }
 
@@ -108,6 +113,7 @@ class ResultsStore:
             fast=run.fast,
             created_at=created_at,
             git=git_describe(),
+            plane_used=run.plane_used,
             cells=run.cells(),
         )
         directory = self.root / scenario.name
@@ -153,6 +159,7 @@ class ResultsStore:
                 fast=document["fast"],
                 created_at=document["created_at"],
                 git=document.get("git"),
+                plane_used=document.get("plane_used"),
                 cells=document["cells"],
                 schema_version=version,
                 path=path,

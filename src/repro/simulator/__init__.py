@@ -16,6 +16,7 @@ from .phase1 import (
     generate_sstables,
     generate_sstables_fast,
     generate_sstables_reference,
+    resolve_plane,
 )
 from .phase2 import (
     PAPER_STRATEGIES,
@@ -30,6 +31,8 @@ from .runner import (
     SweepPoint,
     SweepResult,
     run_comparison,
+    sweep_hll_precision,
+    sweep_k,
     sweep_memtable_capacity,
     sweep_operationcount,
     sweep_update_fraction,
@@ -52,9 +55,12 @@ __all__ = [
     "generate_sstables_fast",
     "generate_sstables_reference",
     "known_strategy_labels",
+    "resolve_plane",
     "run_comparison",
     "run_strategy",
     "strategy_labels",
+    "sweep_hll_precision",
+    "sweep_k",
     "sweep_memtable_capacity",
     "sweep_operationcount",
     "sweep_update_fraction",

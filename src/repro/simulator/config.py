@@ -63,10 +63,11 @@ class SimulationConfig:
     estimator: str = "hll"
     # Simulator data plane.  "auto" runs phase 1 through the batched
     # columnar pipeline and compaction merges through the columnar
-    # kernel whenever the configuration allows it (bit-identical to the
-    # reference; see docs/simulator.md), "fast" requires it (raising on
-    # ineligible configs), "reference" forces the operation-at-a-time
-    # engine loop and the heap merge kernel.
+    # kernel — every expressible configuration is eligible (map mode and
+    # read/scan/delete mixes included; bit-identical to the reference,
+    # see docs/simulator.md) — "fast" requires it (raising on the
+    # exceptional ineligible shapes), "reference" forces the
+    # operation-at-a-time engine loop and the heap merge kernel.
     data_plane: str = "auto"
 
     def __post_init__(self) -> None:
@@ -96,6 +97,11 @@ class SimulationConfig:
             raise ConfigError(
                 f"data_plane must be 'auto', 'fast' or 'reference', "
                 f"got {self.data_plane!r}"
+            )
+        if self.memtable_mode not in ("append", "map"):
+            raise ConfigError(
+                f"memtable_mode must be 'append' or 'map', "
+                f"got {self.memtable_mode!r}"
             )
         if not 0.0 <= self.update_fraction <= 1.0:
             raise ConfigError("update_fraction must be in [0, 1]")

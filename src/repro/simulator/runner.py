@@ -243,3 +243,32 @@ def sweep_operationcount(
         (float(count), replace(base, operationcount=count)) for count in counts
     ]
     return _sweep("operationcount", points, labels, runs, jobs)
+
+
+def sweep_k(
+    base: SimulationConfig,
+    ks: Sequence[int],
+    labels: Sequence[str] | None = None,
+    runs: int = 3,
+    jobs: int = 1,
+) -> SweepResult:
+    """Merge fan-in sweep: how much a larger k shrinks re-merge cost."""
+    labels = tuple(labels) if labels is not None else strategy_labels()
+    points = [(float(k), replace(base, k=k)) for k in ks]
+    return _sweep("k", points, labels, runs, jobs)
+
+
+def sweep_hll_precision(
+    base: SimulationConfig,
+    precisions: Sequence[int],
+    labels: Sequence[str] | None = None,
+    runs: int = 3,
+    jobs: int = 1,
+) -> SweepResult:
+    """HLL precision sweep; defaults to the estimator-driven strategies
+    (the "SO"/"BT(O)" labels are the only ones precision can move)."""
+    labels = tuple(labels) if labels is not None else ("SO", "BT(O)")
+    points = [
+        (float(p), replace(base, hll_precision=p)) for p in precisions
+    ]
+    return _sweep("hll_precision", points, labels, runs, jobs)

@@ -26,7 +26,7 @@ from typing import Hashable, Iterator, Sequence
 
 from ..errors import WorkloadError
 from .distributions import DEFAULT_ZIPFIAN_THETA, KeyChooser, make_chooser
-from .operations import Operation, OperationType
+from .operations import Operation, OperationType, OP_TYPE_CODES
 
 try:  # optional acceleration for the columnar write stream
     import numpy as _np
@@ -211,21 +211,29 @@ class CoreWorkload:
         yield from self.run_operations()
 
     # ------------------------------------------------------------------
-    # Columnar write stream (the simulator's batched data plane)
+    # Columnar op stream (the simulator's batched data plane)
     # ------------------------------------------------------------------
+    def supports_op_stream(self) -> bool:
+        """True when :meth:`op_stream_columns` can replace the op loop.
+
+        Every built-in mix (reads, scans and deletes included) and every
+        distribution qualifies; only a subclass overriding ``key_name``
+        (whose mapped keys need ``Operation`` objects) forces the
+        operation-at-a-time reference loop.
+        """
+        return self.__class__.key_name is CoreWorkload.key_name
+
     def supports_write_stream(self) -> bool:
         """True when :meth:`write_stream_columns` can replace the op loop.
 
-        Requires a writes-only mix (reads consume no rng draws they
-        don't, but scans draw a scan length — any read/scan proportion
-        forces the reference loop) and the identity ``key_name`` (a
-        subclass mapping keynums to other values needs ``Operation``
-        objects).
+        The historical writes-only contract of ``write_stream_columns``;
+        mixes with reads or scans use :meth:`op_stream_columns`, which
+        consumes (and drops) their rng draws itself.
         """
         return (
             self.config.read_proportion == 0.0
             and self.config.scan_proportion == 0.0
-            and self.__class__.key_name is CoreWorkload.key_name
+            and self.supports_op_stream()
         )
 
     def write_stream_columns(self) -> tuple[Sequence[int], list[int]]:
@@ -234,17 +242,36 @@ class CoreWorkload:
         Returns ``(keynums, tombstone_positions)`` where ``keynums[i]``
         is the key of the ``i``-th write (seqno ``i + 1``) and
         ``tombstone_positions`` lists the indices that are deletes.
-        Consumes the workload rng **exactly** like
-        :meth:`all_operations`: one op-type draw per run operation, then
-        the chooser's draws for non-inserts — so the resulting sstables
-        are bit-identical to the operation-at-a-time path.  Key draws
-        for the Gray-sampling choosers are collected as raw variates and
-        decoded in one vectorized ``decode_batch`` call at the end.
+        Kept for writes-only callers; the full mix-aware stream is
+        :meth:`op_stream_columns`.
         """
         if not self.supports_write_stream():
             raise WorkloadError(
                 "write_stream_columns requires a writes-only mix and the "
-                "identity key_name; use all_operations instead"
+                "identity key_name; use op_stream_columns instead"
+            )
+        stream = self.op_stream_columns()
+        return stream.write_keynums, stream.tombstone_positions
+
+    def op_stream_columns(self) -> "OpStreamColumns":
+        """The whole load + run stream as flat columns.
+
+        Consumes the workload rng **exactly** like :meth:`all_operations`:
+        one op-type draw per run operation, then the chooser's draws for
+        non-inserts, then a scan-length draw for scans — so the write
+        columns are bit-identical to the operation-at-a-time path.
+        Read and scan operations consume their draws and are dropped
+        before the memtable ("we ignore both of them in our simulation",
+        paper §5.1); their types still land in the op-type column.  Key
+        draws for the Gray-sampling choosers are collected as raw
+        variates and decoded in one vectorized ``decode_batch`` call at
+        the end; reads' variates never need decoding at all, which is
+        why read-heavy mixes are *cheaper* per op than writes here.
+        """
+        if not self.supports_op_stream():
+            raise WorkloadError(
+                "op_stream_columns requires the identity key_name; "
+                "use all_operations instead"
             )
         config = self.config
         n_load = config.recordcount
@@ -260,8 +287,11 @@ class CoreWorkload:
         last_type = self._op_chooser.choices[-1][0]
         total = self._op_chooser.total
 
-        rnd = self._rng.random
+        rng = self._rng
+        rnd = rng.random
+        randint = rng.randint
         chooser = self._chooser
+        scalar_next = chooser.next
         decode = getattr(chooser, "decode_batch", None)
         pending_at: list[int] = []
         pending_us: list[float] = []
@@ -269,8 +299,14 @@ class CoreWorkload:
         tombstone_positions: list[int] = []
         inserted = self._inserted
         insert_type = OperationType.INSERT
+        read_type = OperationType.READ
+        scan_type = OperationType.SCAN
         delete_type = OperationType.DELETE
+        max_scan = config.max_scan_length
         append = keynums.append
+        code_of = OP_TYPE_CODES
+        op_codes = bytearray([code_of[insert_type]]) * n_load
+        add_code = op_codes.append
         for _ in range(opcount):
             point = rnd() * total
             for cut, op_type in cuts:
@@ -278,12 +314,24 @@ class CoreWorkload:
                     break
             else:  # pragma: no cover - float edge, matches pick()
                 op_type = last_type
+            add_code(code_of[op_type])
             if op_type is insert_type:
                 append(inserted)
                 inserted += 1
                 continue
+            if op_type is read_type or op_type is scan_type:
+                # Consume the chooser's draws exactly like the scalar
+                # path, then drop the key: only the rng stream position
+                # must survive, never the value.
+                if decode is None:
+                    scalar_next(rng, inserted)
+                elif inserted > 1:
+                    rnd()
+                if op_type is scan_type:
+                    randint(1, max_scan)
+                continue
             if decode is None:
-                append(chooser.next(self._rng, inserted))
+                append(scalar_next(rng, inserted))
             elif inserted == 1:
                 # All Gray-sampling choosers return key 0 for a
                 # single-key space without consuming the rng.
@@ -296,14 +344,43 @@ class CoreWorkload:
             if op_type is delete_type:
                 tombstone_positions.append(len(keynums) - 1)
         self._inserted = inserted
+        codes = bytes(op_codes)
+        total_operations = n_load + opcount
 
-        if not pending_at:
-            return keynums, tombstone_positions
-        decoded = decode(pending_us, pending_counts)
-        if _np is not None:
-            columns = _np.asarray(keynums, dtype=_np.int64)
-            columns[_np.asarray(pending_at, dtype=_np.intp)] = decoded
-            return columns, tombstone_positions
-        for position, keynum in zip(pending_at, decoded):
-            keynums[position] = keynum
-        return keynums, tombstone_positions
+        if pending_at:
+            decoded = decode(pending_us, pending_counts)
+            if _np is not None:
+                columns = _np.asarray(keynums, dtype=_np.int64)
+                columns[_np.asarray(pending_at, dtype=_np.intp)] = decoded
+                keynums = columns
+            else:
+                for position, keynum in zip(pending_at, decoded):
+                    keynums[position] = keynum
+        return OpStreamColumns(
+            write_keynums=keynums,
+            tombstone_positions=tombstone_positions,
+            op_codes=codes,
+            total_operations=total_operations,
+        )
+
+
+@dataclass(frozen=True)
+class OpStreamColumns:
+    """One workload's full operation stream in columnar form.
+
+    ``write_keynums[i]`` is the key of the ``i``-th *write* (seqno
+    ``i + 1``); ``tombstone_positions`` indexes into ``write_keynums``;
+    ``op_codes`` holds one :data:`~repro.ycsb.operations.OP_TYPE_CODES`
+    byte per operation of the whole stream (load-phase inserts first),
+    and ``total_operations == len(op_codes)``.  Reads and scans appear
+    in ``op_codes`` but contribute nothing to the write columns.
+    """
+
+    write_keynums: Sequence[int]
+    tombstone_positions: list[int]
+    op_codes: bytes
+    total_operations: int
+
+    @property
+    def write_count(self) -> int:
+        return len(self.write_keynums)

@@ -1,13 +1,16 @@
 """The built-in registry: legacy figures + new presets, by contract."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.errors import ScenarioError
 from repro.scenarios import REGISTRY, Scenario, ScenarioRegistry
-from repro.simulator import SimulationConfig
+from repro.simulator import SimulationConfig, fast_plane_eligible, resolve_plane
 
 LEGACY_FIGURES = ("fig7a", "fig7b", "fig8", "fig9a", "fig9b")
 NEW_PRESETS = ("read-heavy", "timeseries-scan", "churn")
+YCSB_PRESETS = tuple(f"ycsb-{letter}" for letter in "abcdef")
 
 
 class TestBuiltins:
@@ -21,8 +24,9 @@ class TestBuiltins:
         assert "preset" in scenario.tags
 
     def test_at_least_three_presets_beyond_legacy_drivers(self):
-        """The presets need mix shapes the old figure CLIs had no flags for."""
-        presets = REGISTRY.scenarios("preset")
+        """The workload presets need mix shapes the old figure CLIs had
+        no flags for."""
+        presets = REGISTRY.scenarios("workload")
         assert len(presets) >= 3
         for scenario in presets:
             config = scenario.config
@@ -31,6 +35,46 @@ class TestBuiltins:
                 or config.scan_fraction > 0
                 or config.delete_fraction > 0
             ), scenario.name
+
+    @pytest.mark.parametrize("name", YCSB_PRESETS)
+    def test_ycsb_workloads_registered(self, name):
+        scenario = REGISTRY.get(name)
+        assert "ycsb" in scenario.tags
+        config = scenario.config
+        # Every YCSB shape has a non-write slice except none of A-F is
+        # writes-only; the mixes must sum within the unit interval.
+        assert config.read_fraction + config.scan_fraction > 0
+        assert (
+            config.read_fraction
+            + config.scan_fraction
+            + config.delete_fraction
+            <= 1.0
+        )
+
+    def test_ycsb_mixes_match_the_canonical_table(self):
+        """Spot-check the A-F proportions against repro.ycsb.presets."""
+        approx = pytest.approx
+        a = REGISTRY.get("ycsb-a").config.workload_config()
+        assert (a.read_proportion, a.update_proportion) == approx((0.5, 0.5))
+        b = REGISTRY.get("ycsb-b").config.workload_config()
+        assert (b.read_proportion, b.update_proportion) == approx((0.95, 0.05))
+        c = REGISTRY.get("ycsb-c").config.workload_config()
+        assert c.read_proportion == 1.0
+        assert c.insert_proportion == c.update_proportion == 0.0
+        d = REGISTRY.get("ycsb-d").config.workload_config()
+        assert (d.read_proportion, d.insert_proportion) == approx((0.95, 0.05))
+        assert d.update_proportion == 0.0
+        assert d.distribution == "latest"
+        e = REGISTRY.get("ycsb-e").config.workload_config()
+        assert (e.scan_proportion, e.insert_proportion) == approx((0.95, 0.05))
+
+    def test_kernel_sweep_presets_registered(self):
+        k_sweep = REGISTRY.get("k-sweep")
+        assert k_sweep.sweep.parameter == "k"
+        assert all(value >= 2 for value in k_sweep.sweep.values)
+        hll_sweep = REGISTRY.get("hll-sweep")
+        assert hll_sweep.sweep.parameter == "hll_precision"
+        assert set(hll_sweep.strategies) == {"SO", "BT(O)"}
 
     def test_ablations_registered(self):
         assert "distributions" in REGISTRY
@@ -77,3 +121,55 @@ class TestRegistryBehavior:
     def test_tag_filtering(self):
         figures = REGISTRY.scenarios("figure")
         assert {scenario.name for scenario in figures} == set(LEGACY_FIGURES)
+
+
+class TestUniversalFastPlane:
+    """Every registered scenario runs the columnar plane under "auto".
+
+    A quiet reference fallback made map-mode and read/scan experiments
+    an order of magnitude slower than the write-only figures without
+    anyone noticing.  This contract makes that impossible: a scenario
+    that genuinely needs the operation-at-a-time loop must carry the
+    ``reference-only`` tag, every other registered spec must resolve to
+    the fast plane for its base config, its fast variant, every
+    distribution on its axis, and every value of its sweep.
+    """
+
+    @staticmethod
+    def _sweep_configs(scenario, config):
+        sweep = scenario.sweep
+        if sweep is None:
+            return
+        for value in sweep.values:
+            if sweep.parameter == "memtable_capacity":
+                capacity = int(value)
+                yield replace(
+                    config,
+                    memtable_capacity=capacity,
+                    operationcount=capacity * sweep.n_sstables
+                    - config.recordcount,
+                )
+            elif sweep.parameter in ("operationcount", "k", "hll_precision"):
+                yield replace(config, **{sweep.parameter: int(value)})
+            else:
+                yield replace(config, **{sweep.parameter: value})
+
+    @pytest.mark.parametrize(
+        "scenario", list(REGISTRY), ids=lambda scenario: scenario.name
+    )
+    def test_every_scenario_is_fast_plane_eligible(self, scenario):
+        if "reference-only" in scenario.tags:
+            pytest.skip(f"{scenario.name} is explicitly reference-only")
+        for fast in (False, True):
+            base = scenario.config_for(fast)
+            assert base.data_plane == "auto", scenario.name
+            for distribution in scenario.distributions_for():
+                config = replace(base, distribution=distribution)
+                assert fast_plane_eligible(config), (scenario.name, distribution)
+                assert resolve_plane(config) == "fast"
+                for point_config in self._sweep_configs(scenario, config):
+                    assert fast_plane_eligible(point_config), (
+                        scenario.name,
+                        distribution,
+                        scenario.sweep.parameter,
+                    )

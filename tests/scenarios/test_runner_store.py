@@ -56,8 +56,9 @@ class TestRunner:
 
     @pytest.mark.parametrize("name", ("read-heavy", "timeseries-scan"))
     def test_new_mix_presets_execute(self, runner, name):
-        """Read/scan mixes fall back to the reference plane and still run."""
+        """Read/scan mixes run end to end (on the fast plane)."""
         run = runner.run(name, runs=1, overrides=TINY)
+        assert run.plane_used == "fast"
         (comparison,) = run.results.values()
         for agg in comparison.per_strategy.values():
             assert agg.cost_actual_mean > 0
@@ -130,11 +131,22 @@ class TestRunner:
             t.records for t in reference.tables
         ]
 
-    def test_read_scan_mixes_fall_back_to_reference(self):
-        from repro.simulator import fast_plane_eligible
+    def test_read_scan_mixes_identical_across_data_planes(self):
+        """Read/scan mixes batch on the fast plane bit-identically."""
+        from repro.simulator import fast_plane_eligible, generate_sstables
 
         for name in ("read-heavy", "timeseries-scan"):
-            assert not fast_plane_eligible(REGISTRY.get(name).config)
+            base = REGISTRY.get(name).config.overridden(TINY)
+            assert fast_plane_eligible(base)
+            fast = generate_sstables(base.overridden({"data_plane": "fast"}))
+            reference = generate_sstables(
+                base.overridden({"data_plane": "reference"})
+            )
+            assert fast.plane_used == "fast"
+            assert reference.plane_used == "reference"
+            assert [t.records for t in fast.tables] == [
+                t.records for t in reference.tables
+            ]
 
     def test_jobs_do_not_change_results(self, store):
         serial = ExperimentRunner(store=None, jobs=1).run(
@@ -161,10 +173,22 @@ class TestStore:
         assert manifest.spec_hash == run.scenario.spec_hash()
         assert manifest.config["operationcount"] == 1500
         assert manifest.runs == 1
+        assert manifest.plane_used == "fast"
         assert len(manifest.cells) == len(run.scenario.strategies)
         for cell in manifest.cells:
             assert cell["distribution"] == "uniform"
+            assert cell["plane_used"] == "fast"
             assert cell["cost_actual_mean"] > 0
+
+    def test_manifest_records_reference_fallback(self, runner, store):
+        """A forced reference run can never masquerade as a fast one."""
+        run, path = runner.run_and_record(
+            "churn", runs=1, overrides={**TINY, "data_plane": "reference"}
+        )
+        assert run.plane_used == "reference"
+        manifest = store.load(path)
+        assert manifest.plane_used == "reference"
+        assert {cell["plane_used"] for cell in manifest.cells} == {"reference"}
 
     def test_manifest_spec_is_rerunnable(self, runner, store):
         _, path = runner.run_and_record("read-heavy", runs=1, overrides=TINY)
@@ -221,6 +245,23 @@ class TestStore:
         bad.write_text("{not json")
         with pytest.raises(ResultsStoreError):
             store.load(bad)
+
+
+class TestKernelSweeps:
+    def test_k_sweep_preset_executes(self, runner):
+        run = runner.run("k-sweep", runs=1, overrides=TINY)
+        sweep = run.results["latest"]
+        assert sweep.parameter == "k"
+        assert [point.x for point in sweep.points] == [2.0, 3.0, 4.0, 6.0, 8.0]
+        assert set(sweep.labels) == {"SI", "BT(I)"}
+
+    def test_hll_sweep_preset_executes(self, runner):
+        run = runner.run("hll-sweep", runs=1, overrides=TINY)
+        sweep = run.results["latest"]
+        assert sweep.parameter == "hll_precision"
+        assert [point.config.hll_precision for point in sweep.points] == [
+            8, 10, 12, 14,
+        ]
 
 
 class TestAdhocScenario:

@@ -43,6 +43,11 @@ class TestValidation:
         with pytest.raises(ConfigError):
             SimulationConfig(estimator="psychic")
 
+    def test_memtable_mode_validated_eagerly(self):
+        SimulationConfig(memtable_mode="map")
+        with pytest.raises(ConfigError):
+            SimulationConfig(memtable_mode="lsm")
+
     def test_hll_precision_bounds(self):
         with pytest.raises(ConfigError):
             SimulationConfig(hll_precision=3)

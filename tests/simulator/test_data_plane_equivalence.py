@@ -93,23 +93,73 @@ class TestPhase1Equivalence:
         assert config.data_plane == "auto"
         assert fast_plane_eligible(config)
         fast = generate_sstables(config)
+        assert fast.plane_used == "fast"
         if phase1_module._np is not None:
             # Column-backed tables never materialized records here.
             assert all(table.columns() is not None for table in fast.tables)
             assert all("records" not in vars(table) for table in fast.tables)
         assert_tables_identical(generate_sstables_reference(config), fast)
 
-    def test_map_mode_falls_back_to_reference(self):
-        config = small_config(memtable_mode="map")
-        assert not fast_plane_eligible(config)
-        result = generate_sstables(config)  # auto: silent fallback
-        assert_tables_identical(generate_sstables_reference(config), result)
+    MIXES = {
+        "writes-only": {},
+        "read-mix": {"read_fraction": 0.6, "update_fraction": 0.4},
+        "scan-mix": {"scan_fraction": 0.3, "read_fraction": 0.1},
+        "delete-mix": {"delete_fraction": 0.3, "update_fraction": 0.4},
+    }
+
+    @pytest.mark.parametrize("mix", sorted(MIXES))
+    @pytest.mark.parametrize("memtable_mode", ("append", "map"))
+    def test_mode_and_mix_grid_identical(self, memtable_mode, mix):
+        """Map mode and read/scan/delete mixes all run columnar now."""
+        config = small_config(memtable_mode=memtable_mode, **self.MIXES[mix])
+        assert fast_plane_eligible(config)
+        fast = generate_sstables_fast(config)
+        assert fast.plane_used == "fast"
+        assert_tables_identical(generate_sstables_reference(config), fast)
+
+    @pytest.mark.parametrize("mix", sorted(MIXES))
+    @pytest.mark.parametrize("memtable_mode", ("append", "map"))
+    def test_pure_mode_and_mix_grid_identical(
+        self, pure_data_plane, memtable_mode, mix
+    ):
+        config = small_config(memtable_mode=memtable_mode, **self.MIXES[mix])
+        assert_tables_identical(
+            generate_sstables_reference(config), generate_sstables_fast(config)
+        )
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_map_mode_matches_reference_per_distribution(self, distribution):
+        config = small_config(memtable_mode="map", distribution=distribution)
+        assert_tables_identical(
+            generate_sstables_reference(config), generate_sstables_fast(config)
+        )
+
+    def test_map_mode_slab_kernel_matches_pure_boundaries(self):
+        """The chunked distinct-count kernel == the memtable reference."""
+        np = pytest.importorskip(
+            "numpy", reason="exercises the columnar slab cutter", exc_type=ImportError
+        )
+        from repro.lsm.memtable import distinct_capacity_boundaries
+
+        rng = __import__("random").Random(3)
+        for capacity in (1, 2, 7, 50, 200):
+            for spread in (5, 40, 1000):
+                keys = [rng.randrange(spread) for _ in range(3000)]
+                assert phase1_module._map_mode_slabs_columnar(
+                    np.asarray(keys, dtype=np.int64), capacity
+                ) == distinct_capacity_boundaries(keys, capacity), (
+                    capacity,
+                    spread,
+                )
+
+    def test_fast_plane_requires_known_memtable_mode(self):
         with pytest.raises(ConfigError):
-            generate_sstables(replace(config, data_plane="fast"))
+            small_config(memtable_mode="lsm")
 
     def test_reference_plane_forced(self):
         config = small_config(data_plane="reference")
         result = generate_sstables(config)
+        assert result.plane_used == "reference"
         # Reference tables are record-backed from construction.
         assert all("records" in vars(table) for table in result.tables)
 
@@ -144,7 +194,7 @@ class TestPhase1Equivalence:
         tables = phase1_module._flush_slabs_columnar(
             np.asarray(keynums, dtype=np.int64),
             tombstones,
-            200,
+            phase1_module._append_mode_slabs(len(keynums), 200),
             replace(config, memtable_capacity=200),
         )
         assert len(tables) == len(engine.sstables)

@@ -7,6 +7,8 @@ from repro.simulator import (
     StrategyResult,
     aggregate,
     run_comparison,
+    sweep_hll_precision,
+    sweep_k,
     sweep_memtable_capacity,
     sweep_operationcount,
     sweep_update_fraction,
@@ -119,3 +121,21 @@ class TestSweeps:
         series = sweep.series("SI", metric="simulated_seconds_mean")
         assert len(series) == 1
         assert series[0][1] > 0
+
+    def test_k_sweep_shape_and_monotonicity(self):
+        sweep = sweep_k(tiny_config(), (2, 4), labels=("SI",), runs=1)
+        assert sweep.parameter == "k"
+        assert [point.x for point in sweep.points] == [2.0, 4.0]
+        assert [point.config.k for point in sweep.points] == [2, 4]
+        # A larger fan-in can only reduce re-merge work for SI.
+        costs = [p.per_strategy["SI"].cost_actual_mean for p in sweep.points]
+        assert costs[1] <= costs[0]
+
+    def test_hll_precision_sweep_defaults_to_estimator_strategies(self):
+        sweep = sweep_hll_precision(tiny_config(), (10, 12), runs=1)
+        assert sweep.parameter == "hll_precision"
+        assert sweep.labels == ("SO", "BT(O)")
+        assert [point.config.hll_precision for point in sweep.points] == [10, 12]
+        for point in sweep.points:
+            for agg in point.per_strategy.values():
+                assert agg.cost_actual_mean > 0

@@ -58,6 +58,36 @@ class TestRun:
         assert code == 0
         assert "[manifest" not in capsys.readouterr().out
 
+    def test_verbose_surfaces_the_data_plane(self, capsys):
+        code = main(
+            ["run", "churn", "--runs", "1", "--no-store", "--verbose"]
+            + TINY_SETS
+        )
+        assert code == 0
+        assert "[data plane: fast" in capsys.readouterr().out
+        code = main(
+            ["run", "churn", "--runs", "1", "--no-store", "--verbose",
+             "--data-plane", "reference"] + TINY_SETS
+        )
+        assert code == 0
+        assert "[data plane: reference" in capsys.readouterr().out
+
+    def test_header_always_shows_the_plane(self, capsys):
+        code = main(["run", "churn", "--runs", "1", "--no-store"] + TINY_SETS)
+        assert code == 0
+        assert "plane=fast" in capsys.readouterr().out
+
+    def test_kernel_sweep_parameter(self, capsys):
+        code = main(
+            ["sweep", "--parameter", "k", "--values", "2,4",
+             "--recordcount", "150", "--operationcount", "1500",
+             "--memtable", "150", "--strategies", "SI", "--runs", "1",
+             "--no-store"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adhoc-sweep" in out and "k" in out
+
     def test_run_spec_file(self, capsys, tmp_path):
         spec = REGISTRY.get("read-heavy").to_dict()
         spec["config"].update(

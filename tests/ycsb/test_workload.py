@@ -160,3 +160,119 @@ class TestDeterminism:
             for op in CoreWorkload(WorkloadConfig(seed=2, **base)).all_operations()
         ]
         assert a != b
+
+
+class TestOpStreamColumns:
+    """The columnar op stream == the scalar operation loop, per mix."""
+
+    MIX_CONFIGS = {
+        "writes-only": dict(insert_proportion=0.4, update_proportion=0.6),
+        "read-heavy": dict(read_proportion=0.8, update_proportion=0.2),
+        "scans": dict(
+            read_proportion=0.1,
+            scan_proportion=0.3,
+            insert_proportion=0.3,
+            update_proportion=0.3,
+        ),
+        "deletes": dict(
+            delete_proportion=0.2, insert_proportion=0.4, update_proportion=0.4
+        ),
+        "all-read": dict(read_proportion=1.0, update_proportion=0.0),
+    }
+
+    @staticmethod
+    def scalar_reference(config):
+        """Write columns + op codes from the operation-at-a-time loop."""
+        keynums, tombstones, codes = [], [], []
+        for op in CoreWorkload(config).all_operations():
+            codes.append(op.type.code)
+            if not op.is_write:
+                continue
+            if op.type is OperationType.DELETE:
+                tombstones.append(len(keynums))
+            keynums.append(op.key)
+        return keynums, tombstones, bytes(codes)
+
+    @pytest.mark.parametrize("mix", sorted(MIX_CONFIGS))
+    @pytest.mark.parametrize("distribution", ("uniform", "zipfian", "latest"))
+    def test_stream_identical_to_scalar_loop(self, mix, distribution):
+        config = WorkloadConfig(
+            recordcount=120,
+            operationcount=1500,
+            distribution=distribution,
+            seed=13,
+            **self.MIX_CONFIGS[mix],
+        )
+        stream = CoreWorkload(config).op_stream_columns()
+        keynums, tombstones, codes = self.scalar_reference(config)
+        assert list(stream.write_keynums) == keynums
+        assert stream.tombstone_positions == tombstones
+        assert stream.op_codes == codes
+        assert stream.total_operations == 120 + 1500 == len(stream.op_codes)
+        assert stream.write_count == len(keynums)
+        # The op-type column decodes back through CODE_OP_TYPES: its
+        # write rows must agree with the write columns exactly.
+        from repro.ycsb.operations import CODE_OP_TYPES
+
+        decoded_writes = sum(
+            1 for code in stream.op_codes if CODE_OP_TYPES[code].is_write
+        )
+        assert decoded_writes == stream.write_count
+
+    def test_rng_state_reusable_after_stream(self):
+        """Draws after the batch continue the scalar stream (zeta state
+        and rng position both survive the vectorized decode)."""
+        config = WorkloadConfig(
+            recordcount=50,
+            operationcount=400,
+            distribution="zipfian",
+            read_proportion=0.5,
+            update_proportion=0.5,
+            seed=3,
+        )
+        scalar = CoreWorkload(config)
+        for _ in scalar.all_operations():
+            pass
+        batched = CoreWorkload(config)
+        batched.op_stream_columns()
+        follow_scalar = [
+            op.key for op in _drain_run_ops(scalar, 20)
+        ]
+        follow_batched = [op.key for op in _drain_run_ops(batched, 20)]
+        assert follow_scalar == follow_batched
+
+    def test_supports_op_stream_covers_every_mix(self):
+        for mix in self.MIX_CONFIGS.values():
+            config = WorkloadConfig(recordcount=10, operationcount=10, **mix)
+            assert CoreWorkload(config).supports_op_stream()
+
+    def test_key_name_subclass_not_supported(self):
+        class Named(CoreWorkload):
+            def key_name(self, keynum):
+                return f"user{keynum}"
+
+        workload = Named(WorkloadConfig(recordcount=10, operationcount=10))
+        assert not workload.supports_op_stream()
+        with pytest.raises(WorkloadError):
+            workload.op_stream_columns()
+
+    def test_write_stream_columns_still_requires_writes_only(self):
+        config = WorkloadConfig(
+            recordcount=10,
+            operationcount=10,
+            read_proportion=0.5,
+            update_proportion=0.5,
+        )
+        with pytest.raises(WorkloadError):
+            CoreWorkload(config).write_stream_columns()
+
+
+def _drain_run_ops(workload, count):
+    """A few more run-phase operations from an already-driven workload."""
+    from itertools import islice
+
+    from dataclasses import replace as dc_replace
+
+    more = dc_replace(workload.config, operationcount=count)
+    workload.config = more
+    return islice(workload.run_operations(), count)
