@@ -163,9 +163,10 @@ def _execute(args: argparse.Namespace, scenario: Scenario | str) -> int:
     )
     print(run.render(), end="")
     if args.verbose:
+        read_phase = "; read phase: served" if run.read_phase_served else ""
         print(
             f"\n[data plane: {run.plane_used}; runs={run.runs} "
-            f"jobs={run.jobs}]"
+            f"jobs={run.jobs}{read_phase}]"
         )
     if path is not None:
         print(f"\n[manifest written to {path}]")

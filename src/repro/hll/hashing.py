@@ -105,8 +105,23 @@ def hash_keys_u64(keys: Sequence[Hashable], seed: int = 0) -> Optional["_np.ndar
     batch path does not apply (numpy missing, or any key is not a plain
     int — ``bool`` keys are type-salted by :func:`hash_key` and must take
     the scalar path).  Callers fall back to the per-key loop on ``None``.
+
+    ``int64``/``uint64`` numpy arrays are accepted directly (the read
+    path's columnar probe batches); the two's-complement ``uint64`` view
+    of a negative ``int64`` equals the scalar path's ``key & MASK64``.
     """
-    if _np is None or not isinstance(keys, (list, tuple)):
+    if _np is None:
+        return None
+    if isinstance(keys, _np.ndarray):
+        if keys.dtype == _np.uint64:
+            base = keys
+        elif keys.dtype == _np.int64:
+            base = _np.ascontiguousarray(keys).view(_np.uint64)
+        else:
+            return None
+        with _np.errstate(over="ignore"):
+            return _splitmix64_u64(base ^ _np.uint64(splitmix64(seed)))
+    if not isinstance(keys, (list, tuple)):
         return None
     # set(map(type, ...)) runs at C speed; a strict-subset check keeps
     # bool (an int subclass with a different type salt) off this path.

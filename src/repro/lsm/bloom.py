@@ -16,7 +16,7 @@ sstables use — and everything else falls back to the per-key loop.
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Optional
 
 from ..errors import ConfigError
 from ..hll.hashing import MASK64, hash_key, hash_keys_u64
@@ -86,6 +86,32 @@ class BloomFilter:
         return all(
             self._bits[bit >> 3] & (1 << (bit & 7)) for bit in self._probes(key)
         )
+
+    def contains_batch(self, keys) -> Optional["_np.ndarray"]:
+        """Vectorized membership test, bit-identical to ``key in self``.
+
+        Mirrors :meth:`add_all`'s probe arithmetic: the same double
+        hashes, the same uint64 wrap, the same bit positions — gathered
+        instead of scattered.  Accepts plain-int lists/tuples or
+        ``int64``/``uint64`` arrays; returns a boolean array (``True``
+        means possibly present) or ``None`` when the batch path does not
+        apply, in which case callers fall back to the scalar ``in``.
+        """
+        h1 = hash_keys_u64(keys, seed=_PROBE_SEED_1)
+        if h1 is None:
+            return None
+        h2 = hash_keys_u64(keys, seed=_PROBE_SEED_2) | _np.uint64(1)
+        with _np.errstate(over="ignore"):
+            probes = h1[:, None] + _np.arange(
+                self.k_hashes, dtype=_np.uint64
+            ) * h2[:, None]
+        positions = probes % _np.uint64(self.m_bits)
+        byte_index = (positions >> _np.uint64(3)).astype(_np.intp)
+        masks = _np.left_shift(
+            _np.uint8(1), (positions & _np.uint64(7)).astype(_np.uint8)
+        )
+        bits = _np.frombuffer(self._bits, dtype=_np.uint8)
+        return ((bits[byte_index] & masks) != 0).all(axis=1)
 
     def __len__(self) -> int:
         """Number of keys added (not the bit count)."""

@@ -50,19 +50,50 @@ class EngineConfig:
 
 @dataclass
 class ReadStats:
-    """Read-path accounting (read amplification observability)."""
+    """Read-path accounting (read amplification observability).
+
+    Point reads count ``reads``/``tables_probed``/``bloom_skips``;
+    ``bloom_false_positives`` is the subset of probes where the bloom
+    passed but the table did not hold the key (the probe bought only an
+    index-block read).  Scans keep their own counters:
+    ``scan_records_scanned`` is every sstable record the scan walk
+    consumed (charged to the disk), ``scan_records_returned`` the live
+    records handed back.  ``read_bytes`` totals all bytes charged on
+    behalf of reads and scans.
+    """
 
     reads: int = 0
     memtable_hits: int = 0
     tables_probed: int = 0
     bloom_skips: int = 0
+    bloom_false_positives: int = 0
     hits: int = 0
     misses: int = 0
+    read_bytes: int = 0
+    scans: int = 0
+    scan_tables_probed: int = 0
+    scan_tables_pruned: int = 0
+    scan_records_scanned: int = 0
+    scan_records_returned: int = 0
 
     @property
     def tables_probed_per_read(self) -> float:
         """The engine's observed read amplification."""
         return self.tables_probed / self.reads if self.reads else 0.0
+
+    @property
+    def bloom_fp_rate(self) -> float:
+        """Fraction of table probes the bloom filter let through in vain."""
+        return (
+            self.bloom_false_positives / self.tables_probed
+            if self.tables_probed
+            else 0.0
+        )
+
+    @property
+    def scan_tables_per_scan(self) -> float:
+        """The scan path's analogue of read amplification."""
+        return self.scan_tables_probed / self.scans if self.scans else 0.0
 
 
 class LSMEngine:
@@ -149,8 +180,11 @@ class LSMEngine:
             record = table.get(key)
             if record is not None:
                 self.disk.read(record.size_bytes)
+                self.read_stats.read_bytes += record.size_bytes
                 return self._resolve(record)
+            self.read_stats.bloom_false_positives += 1
             self.disk.read(_INDEX_BLOCK_BYTES)  # bloom false positive
+            self.read_stats.read_bytes += _INDEX_BLOCK_BYTES
         self.read_stats.misses += 1
         return None
 
@@ -162,24 +196,65 @@ class LSMEngine:
         return record
 
     def scan(self, start_key: Hashable, length: int) -> list[Record]:
-        """Up to ``length`` live records with key >= ``start_key``."""
+        """Up to ``length`` live records with key >= ``start_key``.
+
+        Merges the probed sstables and the memtable in ascending key
+        order, resolving newest-per-key as it goes (a tombstone shadows
+        every older version without producing output) and stopping only
+        once ``length`` live records are resolved or every source is
+        exhausted — heavily overwritten or tombstoned key ranges extend
+        the walk instead of truncating the result.  Tables whose range
+        ends before ``start_key`` are pruned without a probe, and every
+        sstable record the walk consumes is charged to the simulated
+        disk; memtable records are free.
+        """
         if length < 1:
             return []
-        newest: dict[Hashable, Record] = {}
-        for table in self.sstables:  # oldest first; later writes overwrite
-            for record in table.scan(start_key, length * 4):
-                existing = newest.get(record.key)
-                if existing is None or record.seqno > existing.seqno:
-                    newest[record.key] = record
-        for record in self.memtable.pending_records():
-            existing = newest.get(record.key)
-            if existing is None or record.seqno > existing.seqno:
-                newest[record.key] = record
-        live = sorted(
-            (record for record in newest.values() if not record.tombstone),
-            key=lambda record: record.key,
+        stats = self.read_stats
+        stats.scans += 1
+        tails: list[list[Record]] = []
+        for table in self.sstables:  # oldest first; seqno ties keep the first
+            if start_key > table.max_key:
+                stats.scan_tables_pruned += 1
+                continue
+            stats.scan_tables_probed += 1
+            tails.append(table.scan(start_key, table.entry_count))
+        tails.append(
+            [
+                record
+                for record in self.memtable.pending_records()
+                if record.key >= start_key
+            ]
         )
-        return [record for record in live if record.key >= start_key][:length]
+        mem_index = len(tails) - 1
+        positions = [0] * len(tails)
+        live: list[Record] = []
+        while len(live) < length:
+            key = None
+            for tail, position in zip(tails, positions):
+                if position < len(tail):
+                    candidate = tail[position].key
+                    if key is None or candidate < key:
+                        key = candidate
+            if key is None:
+                break
+            best = None
+            for index, tail in enumerate(tails):
+                position = positions[index]
+                if position >= len(tail) or tail[position].key != key:
+                    continue
+                record = tail[position]
+                positions[index] = position + 1
+                if index != mem_index:
+                    self.disk.read(record.size_bytes)
+                    stats.read_bytes += record.size_bytes
+                    stats.scan_records_scanned += 1
+                if best is None or record.seqno > best.seqno:
+                    best = record
+            if not best.tombstone:
+                live.append(best)
+        stats.scan_records_returned += len(live)
+        return live
 
     # ------------------------------------------------------------------
     # Workload driving

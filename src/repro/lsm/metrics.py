@@ -29,6 +29,9 @@ class AmplificationReport:
     entries_on_disk: int
     live_keys: int
     space_amplification: float
+    # Read-path detail (defaults keep older call sites constructible).
+    bloom_fp_rate: float = 0.0
+    read_bytes: int = 0
 
     def summary(self) -> str:
         return (
@@ -68,4 +71,6 @@ def measure_amplification(engine: LSMEngine) -> AmplificationReport:
         entries_on_disk=entries,
         live_keys=live_keys,
         space_amplification=entries / live_keys if live_keys else 0.0,
+        bloom_fp_rate=engine.read_stats.bloom_fp_rate,
+        read_bytes=engine.read_stats.read_bytes,
     )

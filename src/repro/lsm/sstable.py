@@ -371,6 +371,25 @@ class SSTable:
             return self.records[lo]
         return None
 
+    def get_batch(self, keys) -> Optional["_np.ndarray"]:
+        """Vectorized point lookups: the row index per key, ``-1`` if absent.
+
+        The batched mirror of :meth:`get` (one ``searchsorted`` over the
+        key column instead of per-key binary searches).  Requires the
+        int64 column view; returns ``None`` when :meth:`columns` does,
+        so callers fall back to the scalar path.  Returned indices
+        address :attr:`records` and the column arrays alike.
+        """
+        columns = self.columns()
+        if columns is None:
+            return None
+        queries = _np.asarray(keys, dtype=_np.int64)
+        table_keys = columns.keys
+        indices = _np.searchsorted(table_keys, queries)
+        indices[indices == table_keys.size] = 0  # out of range; masked below
+        found = table_keys[indices] == queries
+        return _np.where(found, indices, -1)
+
     def scan(self, start_key: Hashable, length: int) -> list[Record]:
         """Up to ``length`` records with key >= start_key."""
         lo = bisect_right(self._keys, start_key) - 1

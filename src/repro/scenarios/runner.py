@@ -87,28 +87,43 @@ def render_comparison_table(
     # registry, which itself imports this module (render-only cycle).
     from ..analysis.tables import format_table
 
+    # Read columns appear only when the serving phase ran (the mix had
+    # reads/scans), so write-only reports stay byte-identical.
+    served = any(
+        comparison.per_strategy[label].reads_mean
+        or comparison.per_strategy[label].scans_mean
+        for label in labels
+    )
+    headers = [
+        "strategy",
+        "costactual mean",
+        "std",
+        "cost/LOPT",
+        "sim seconds",
+        "overhead s",
+    ]
+    if served:
+        headers += ["read amp", "bloom FP%", "read MB"]
     rows = []
     for label in labels:
         agg = comparison.per_strategy[label]
-        rows.append(
-            [
-                label,
-                agg.cost_actual_mean,
-                agg.cost_actual_std,
-                agg.cost_over_lopt,
-                agg.simulated_seconds_mean + agg.strategy_overhead_mean,
-                agg.strategy_overhead_mean,
+        row = [
+            label,
+            agg.cost_actual_mean,
+            agg.cost_actual_std,
+            agg.cost_over_lopt,
+            agg.simulated_seconds_mean + agg.strategy_overhead_mean,
+            agg.strategy_overhead_mean,
+        ]
+        if served:
+            row += [
+                agg.read_amplification_mean,
+                agg.bloom_fp_rate_mean * 100.0,
+                agg.read_bytes_mean / 1e6,
             ]
-        )
+        rows.append(row)
     return format_table(
-        [
-            "strategy",
-            "costactual mean",
-            "std",
-            "cost/LOPT",
-            "sim seconds",
-            "overhead s",
-        ],
+        headers,
         rows,
         float_digits=3,
         title=(
@@ -172,6 +187,14 @@ def _cell_metrics(agg: AggregateResult) -> dict[str, Any]:
         "simulated_seconds_std": agg.simulated_seconds_std,
         "strategy_overhead_mean": agg.strategy_overhead_mean,
         "wall_seconds_mean": agg.wall_seconds_mean,
+        # Serving-phase read metrics (additive keys; all zero for
+        # write-only mixes — see store.py's schema policy).
+        "reads_mean": agg.reads_mean,
+        "scans_mean": agg.scans_mean,
+        "read_amplification_mean": agg.read_amplification_mean,
+        "bloom_fp_rate_mean": agg.bloom_fp_rate_mean,
+        "read_bytes_mean": agg.read_bytes_mean,
+        "scan_records_scanned_mean": agg.scan_records_scanned_mean,
     }
 
 
@@ -197,6 +220,20 @@ class ScenarioRun:
         recorded faithfully.
         """
         return resolve_plane(self.config)
+
+    @property
+    def read_phase_served(self) -> bool:
+        """True when at least one cell replayed reads/scans (serving phase)."""
+        return any(
+            agg.reads_mean or agg.scans_mean
+            for result in self.results.values()
+            for per_strategy in (
+                [point.per_strategy for point in result.points]
+                if isinstance(result, SweepResult)
+                else [result.per_strategy]
+            )
+            for agg in per_strategy.values()
+        )
 
     def cells(self) -> list[dict[str, Any]]:
         """Flat per-(distribution, x, strategy) metric rows for the store."""

@@ -13,6 +13,11 @@ Layout::
 
 ``run_id`` is ``<utc-timestamp>-<spec-hash-prefix>`` with a numeric
 suffix on collision, so repeated runs sort chronologically.
+
+Cell rows are additive: read-serving metrics (``reads_mean``,
+``read_amplification_mean``, ``bloom_fp_rate_mean``, ...) joined the
+write-cost keys without a schema bump — added keys are backwards
+compatible, and the loader does not validate cell contents.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from .phase2 import (
     run_strategy,
     strategy_labels,
 )
+from .read_path import READ_KERNELS, ReadPhaseResult, serve_reads
 from .runner import (
     ComparisonResult,
     SweepPoint,
@@ -44,6 +45,8 @@ __all__ = [
     "PAPER_STRATEGIES",
     "PRACTICAL_STRATEGIES",
     "Phase1Result",
+    "READ_KERNELS",
+    "ReadPhaseResult",
     "SimulationConfig",
     "StrategyResult",
     "SweepPoint",
@@ -58,6 +61,7 @@ __all__ = [
     "resolve_plane",
     "run_comparison",
     "run_strategy",
+    "serve_reads",
     "strategy_labels",
     "sweep_hll_precision",
     "sweep_k",

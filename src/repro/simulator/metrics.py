@@ -23,6 +23,20 @@ class StrategyResult:
     simulated_seconds: float
     strategy_overhead_seconds: float
     wall_seconds: float
+    # Serving-phase read metrics (zero when the mix has no reads/scans
+    # or the serving phase did not run; see simulator/read_path.py).
+    reads: int = 0
+    scans: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    read_tables_probed: int = 0
+    read_bloom_skips: int = 0
+    read_bloom_false_positives: int = 0
+    read_bytes: int = 0
+    scan_tables_probed: int = 0
+    scan_tables_pruned: int = 0
+    scan_records_scanned: int = 0
+    scan_records_returned: int = 0
 
     @property
     def bytes_total(self) -> int:
@@ -37,6 +51,20 @@ class StrategyResult:
     def cost_over_lopt(self) -> float:
         """Cost relative to the Fig. 8 lower bound (sum of sstable sizes)."""
         return self.cost_actual / self.lopt_entries if self.lopt_entries else 0.0
+
+    @property
+    def read_amplification(self) -> float:
+        """Tables probed per point read against this strategy's output."""
+        return self.read_tables_probed / self.reads if self.reads else 0.0
+
+    @property
+    def bloom_fp_rate(self) -> float:
+        """Fraction of read probes the bloom filter let through in vain."""
+        return (
+            self.read_bloom_false_positives / self.read_tables_probed
+            if self.read_tables_probed
+            else 0.0
+        )
 
 
 @dataclass(frozen=True)
@@ -53,6 +81,14 @@ class AggregateResult:
     wall_seconds_mean: float
     strategy_overhead_mean: float
     lopt_entries_mean: float
+    # Serving-phase read metrics, averaged over runs (all zero for
+    # write-only mixes so historical reports are unchanged).
+    reads_mean: float = 0.0
+    scans_mean: float = 0.0
+    read_amplification_mean: float = 0.0
+    bloom_fp_rate_mean: float = 0.0
+    read_bytes_mean: float = 0.0
+    scan_records_scanned_mean: float = 0.0
 
     @property
     def cost_over_lopt(self) -> float:
@@ -94,6 +130,20 @@ def aggregate(results: Sequence[StrategyResult]) -> AggregateResult:
         ),
         lopt_entries_mean=statistics.mean(
             [result.lopt_entries for result in results]
+        ),
+        reads_mean=statistics.mean([result.reads for result in results]),
+        scans_mean=statistics.mean([result.scans for result in results]),
+        read_amplification_mean=statistics.mean(
+            [result.read_amplification for result in results]
+        ),
+        bloom_fp_rate_mean=statistics.mean(
+            [result.bloom_fp_rate for result in results]
+        ),
+        read_bytes_mean=statistics.mean(
+            [result.read_bytes for result in results]
+        ),
+        scan_records_scanned_mean=statistics.mean(
+            [result.scan_records_scanned for result in results]
         ),
     )
 

@@ -25,8 +25,10 @@ from ..lsm.compaction.major import MajorCompaction
 from ..lsm.compaction.size_tiered import SizeTieredCompaction
 from ..lsm.disk import SimulatedDisk
 from ..lsm.sstable import SSTable
+from ..ycsb.workload import ReadOpColumns
 from .config import SimulationConfig
 from .metrics import StrategyResult
+from .read_path import serve_reads
 
 #: label -> (policy name, parallel?) for the paper's §5.1 strategy set.
 PAPER_STRATEGIES: dict[str, tuple[str, bool]] = {
@@ -118,13 +120,41 @@ def run_strategy(
     label: str,
     config: SimulationConfig,
     seed: Optional[int] = None,
+    read_ops: Optional[ReadOpColumns] = None,
 ) -> StrategyResult:
-    """Compact ``tables`` with the labelled strategy; return its metrics."""
+    """Compact ``tables`` with the labelled strategy; return its metrics.
+
+    With ``read_ops``, the workload's READ/SCAN operations are replayed
+    against the strategy's *output* tables afterwards (the serving
+    phase), so the result also carries per-policy read amplification,
+    bloom false-positive and read-byte metrics.
+    """
     if not tables:
         raise CompactionError("phase 2 needs at least one sstable")
     strategy = build_strategy(label, config, seed=seed)
     disk = SimulatedDisk(config.timing_model())
     result = strategy.compact(tables, disk, next_table_id=10_000_000)
+    read_metrics: dict = {}
+    if read_ops is not None and read_ops.has_ops:
+        # The reference plane pins the scalar engine end to end, exactly
+        # like it pins the heap merge kernel; both kernels are
+        # bit-identical (tests/simulator/test_read_path.py).
+        kernel = "scalar" if config.data_plane == "reference" else "auto"
+        served = serve_reads(result.output_tables, read_ops, kernel=kernel)
+        read_metrics = dict(
+            reads=served.reads,
+            scans=served.scans,
+            read_hits=served.hits,
+            read_misses=served.misses,
+            read_tables_probed=served.tables_probed,
+            read_bloom_skips=served.bloom_skips,
+            read_bloom_false_positives=served.bloom_false_positives,
+            read_bytes=served.read_bytes,
+            scan_tables_probed=served.scan_tables_probed,
+            scan_tables_pruned=served.scan_tables_pruned,
+            scan_records_scanned=served.scan_records_scanned,
+            scan_records_returned=served.scan_records_returned,
+        )
     return StrategyResult(
         strategy=label,
         n_tables=len(tables),
@@ -138,4 +168,5 @@ def run_strategy(
         simulated_seconds=result.simulated_seconds,
         strategy_overhead_seconds=result.strategy_overhead_seconds,
         wall_seconds=result.wall_seconds,
+        **read_metrics,
     )

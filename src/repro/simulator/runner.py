@@ -88,7 +88,13 @@ def _comparison_cell(
     run_config = config.with_seed(config.seed + run_index)
     phase1 = generate_sstables(run_config)
     return {
-        label: run_strategy(phase1.tables, label, run_config, seed=run_config.seed)
+        label: run_strategy(
+            phase1.tables,
+            label,
+            run_config,
+            seed=run_config.seed,
+            read_ops=phase1.read_ops,
+        )
         for label in labels
     }
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Hashable, Iterator, Sequence
+from typing import Hashable, Iterator, Optional, Sequence
 
 from ..errors import WorkloadError
 from .distributions import DEFAULT_ZIPFIAN_THETA, KeyChooser, make_chooser
@@ -253,20 +253,24 @@ class CoreWorkload:
         stream = self.op_stream_columns()
         return stream.write_keynums, stream.tombstone_positions
 
-    def op_stream_columns(self) -> "OpStreamColumns":
+    def op_stream_columns(
+        self, include_read_ops: bool = False
+    ) -> "OpStreamColumns":
         """The whole load + run stream as flat columns.
 
         Consumes the workload rng **exactly** like :meth:`all_operations`:
         one op-type draw per run operation, then the chooser's draws for
         non-inserts, then a scan-length draw for scans — so the write
         columns are bit-identical to the operation-at-a-time path.
-        Read and scan operations consume their draws and are dropped
-        before the memtable ("we ignore both of them in our simulation",
-        paper §5.1); their types still land in the op-type column.  Key
-        draws for the Gray-sampling choosers are collected as raw
-        variates and decoded in one vectorized ``decode_batch`` call at
-        the end; reads' variates never need decoding at all, which is
-        why read-heavy mixes are *cheaper* per op than writes here.
+        By default read and scan operations consume their draws and are
+        dropped before the memtable ("we ignore both of them in our
+        simulation", paper §5.1); their types still land in the op-type
+        column.  With ``include_read_ops`` the same draws are kept as
+        :class:`ReadOpColumns` for the serving phase — the rng stream
+        position is identical either way, so the write columns do not
+        move.  Key draws for the Gray-sampling choosers are collected as
+        raw variates and decoded in one vectorized ``decode_batch`` call
+        at the end.
         """
         if not self.supports_op_stream():
             raise WorkloadError(
@@ -296,6 +300,12 @@ class CoreWorkload:
         pending_at: list[int] = []
         pending_us: list[float] = []
         pending_counts: list[int] = []
+        read_keynums: list[int] = []
+        scan_keynums: list[int] = []
+        scan_lengths: list[int] = []
+        rs_pending_dest: list[tuple[list[int], int]] = []
+        rs_pending_us: list[float] = []
+        rs_pending_counts: list[int] = []
         tombstone_positions: list[int] = []
         inserted = self._inserted
         insert_type = OperationType.INSERT
@@ -321,14 +331,28 @@ class CoreWorkload:
                 continue
             if op_type is read_type or op_type is scan_type:
                 # Consume the chooser's draws exactly like the scalar
-                # path, then drop the key: only the rng stream position
-                # must survive, never the value.
-                if decode is None:
-                    scalar_next(rng, inserted)
-                elif inserted > 1:
-                    rnd()
-                if op_type is scan_type:
-                    randint(1, max_scan)
+                # path; the rng stream position is identical whether the
+                # key is kept (serving phase) or dropped (writes only).
+                if include_read_ops:
+                    dest = scan_keynums if op_type is scan_type else read_keynums
+                    if decode is None:
+                        dest.append(scalar_next(rng, inserted))
+                    elif inserted == 1:
+                        dest.append(0)  # single-key space, no rng draw
+                    else:
+                        rs_pending_dest.append((dest, len(dest)))
+                        rs_pending_us.append(rnd())
+                        rs_pending_counts.append(inserted)
+                        dest.append(0)  # placeholder, decoded below
+                    if op_type is scan_type:
+                        scan_lengths.append(randint(1, max_scan))
+                else:
+                    if decode is None:
+                        scalar_next(rng, inserted)
+                    elif inserted > 1:
+                        rnd()
+                    if op_type is scan_type:
+                        randint(1, max_scan)
                 continue
             if decode is None:
                 append(scalar_next(rng, inserted))
@@ -356,12 +380,54 @@ class CoreWorkload:
             else:
                 for position, keynum in zip(pending_at, decoded):
                     keynums[position] = keynum
+        if rs_pending_dest:
+            decoded = decode(rs_pending_us, rs_pending_counts)
+            for (dest, position), keynum in zip(rs_pending_dest, decoded):
+                dest[position] = int(keynum)
+        read_ops = (
+            ReadOpColumns(
+                read_keynums=read_keynums,
+                scan_keynums=scan_keynums,
+                scan_lengths=scan_lengths,
+            )
+            if include_read_ops
+            else None
+        )
         return OpStreamColumns(
             write_keynums=keynums,
             tombstone_positions=tombstone_positions,
             op_codes=codes,
             total_operations=total_operations,
+            read_ops=read_ops,
         )
+
+
+@dataclass(frozen=True)
+class ReadOpColumns:
+    """The READ/SCAN operations of one stream in columnar form.
+
+    ``read_keynums`` lists the point-lookup keys in stream order;
+    ``scan_keynums[i]``/``scan_lengths[i]`` describe the ``i``-th range
+    scan.  Collected by ``op_stream_columns(include_read_ops=True)`` and
+    replayed by the simulator's serving phase against a policy's final
+    sstable set.
+    """
+
+    read_keynums: list[int]
+    scan_keynums: list[int]
+    scan_lengths: list[int]
+
+    @property
+    def read_count(self) -> int:
+        return len(self.read_keynums)
+
+    @property
+    def scan_count(self) -> int:
+        return len(self.scan_keynums)
+
+    @property
+    def has_ops(self) -> bool:
+        return bool(self.read_keynums or self.scan_keynums)
 
 
 @dataclass(frozen=True)
@@ -373,13 +439,15 @@ class OpStreamColumns:
     ``op_codes`` holds one :data:`~repro.ycsb.operations.OP_TYPE_CODES`
     byte per operation of the whole stream (load-phase inserts first),
     and ``total_operations == len(op_codes)``.  Reads and scans appear
-    in ``op_codes`` but contribute nothing to the write columns.
+    in ``op_codes`` but contribute nothing to the write columns; their
+    keys are kept in ``read_ops`` only when collection was requested.
     """
 
     write_keynums: Sequence[int]
     tombstone_positions: list[int]
     op_codes: bytes
     total_operations: int
+    read_ops: Optional[ReadOpColumns] = None
 
     @property
     def write_count(self) -> int:

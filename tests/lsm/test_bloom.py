@@ -53,3 +53,28 @@ class TestMembership:
     def test_never_false_negative_property(self, keys):
         bloom = BloomFilter.of(keys)
         assert all(key in bloom for key in keys)
+
+
+class TestContainsBatch:
+    def test_matches_scalar_membership(self):
+        numpy = pytest.importorskip("numpy")
+        bloom = BloomFilter.of(range(0, 1000, 3), fp_rate=0.05)
+        queries = list(range(-50, 1200, 7))
+        batch = bloom.contains_batch(queries)
+        assert batch is not None
+        assert batch.tolist() == [key in bloom for key in queries]
+        # int64 arrays take the same path as plain-int lists.
+        array = bloom.contains_batch(numpy.asarray(queries, dtype=numpy.int64))
+        assert array.tolist() == batch.tolist()
+
+    def test_negative_and_large_keys(self):
+        pytest.importorskip("numpy")
+        keys = [-(2**40), -1, 0, 2**62]
+        bloom = BloomFilter.of(keys)
+        batch = bloom.contains_batch(keys + [123456])
+        assert batch is not None
+        assert batch.tolist() == [True, True, True, True, 123456 in bloom]
+
+    def test_non_int_keys_fall_back(self):
+        bloom = BloomFilter.of(["a", "b"])
+        assert bloom.contains_batch(["a", "b"]) is None

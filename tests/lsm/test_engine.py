@@ -116,6 +116,69 @@ class TestReadPath:
     def test_scan_zero_length(self):
         assert engine_with().scan("a", 0) == []
 
+    def test_scan_survives_heavily_tombstoned_prefix(self):
+        # Regression: the old walk capped probing at length * 4 records
+        # per table, silently under-returning when the scan start was
+        # shadowed by more than ~4x tombstones.
+        engine = engine_with(capacity=20, use_wal=False)
+        for key in range(20):
+            engine.put(key)
+        engine.flush()
+        for key in range(16):  # 16 tombstones > 4 * length
+            engine.delete(key)
+        engine.flush()
+        assert [r.key for r in engine.scan(0, 4)] == [16, 17, 18, 19]
+
+    def test_scan_exhausts_all_versions_before_truncating(self):
+        # Every key overwritten across many tables: the walk must keep
+        # resolving until `length` live keys exist, however deep the
+        # version stacks are.
+        engine = engine_with(capacity=4, use_wal=False)
+        for _ in range(6):
+            for key in range(4):
+                engine.put(key)
+        engine.flush()
+        assert [r.key for r in engine.scan(0, 4)] == [0, 1, 2, 3]
+
+    def test_scan_prunes_tables_below_start_key(self):
+        engine = engine_with(capacity=10, use_wal=False)
+        for key in range(10):
+            engine.put(key)
+        engine.flush()
+        for key in range(100, 110):
+            engine.put(key)
+        engine.flush()
+        result = engine.scan(50, 5)
+        assert [r.key for r in result] == [100, 101, 102, 103, 104]
+        assert engine.read_stats.scan_tables_pruned == 1
+        assert engine.read_stats.scan_tables_probed == 1
+
+    def test_scan_charges_disk_reads_and_stats(self):
+        # Regression: scans used to perform disk reads without charging
+        # the simulated disk or updating ReadStats at all.
+        engine = engine_with(capacity=5, use_wal=False)
+        for key in range(5):
+            engine.put(key, value_size=100)
+        engine.flush()
+        before = engine.disk.stats.bytes_read
+        result = engine.scan(0, 3)
+        assert len(result) == 3
+        charged = engine.disk.stats.bytes_read - before
+        assert charged == sum(r.size_bytes for r in result)
+        stats = engine.read_stats
+        assert stats.scans == 1
+        assert stats.scan_records_scanned == 3
+        assert stats.scan_records_returned == 3
+        assert stats.read_bytes == charged
+
+    def test_scan_memtable_records_are_free(self):
+        engine = engine_with(capacity=10, use_wal=False)
+        for key in range(5):
+            engine.put(key)
+        before = engine.disk.stats.bytes_read
+        assert len(engine.scan(0, 5)) == 5
+        assert engine.disk.stats.bytes_read == before
+
 
 class TestCompactionIntegration:
     def test_compact_to_single_table(self):

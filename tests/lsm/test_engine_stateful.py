@@ -75,6 +75,17 @@ class EngineModel(RuleBasedStateMachine):
     def crash_and_recover(self):
         self.engine = self.engine.simulate_crash_and_recover()
 
+    @rule(start=KEYS, length=st.integers(1, 10))
+    def bounded_scan(self, start, length):
+        """Bounded scans return exactly the first `length` live keys,
+        however many shadowed versions or tombstones precede them."""
+        expected = sorted(k for k in self.model if k >= start)[:length]
+        result = self.engine.scan(start, length)
+        assert [record.key for record in result] == expected
+        assert [record.value_size for record in result] == [
+            self.model[k] for k in expected
+        ]
+
     @invariant()
     def scan_matches_model(self):
         live = {record.key for record in self.engine.scan(0, 100)}

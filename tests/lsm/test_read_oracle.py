@@ -1,0 +1,79 @@
+"""Read/scan oracle: a mixed op stream against the engine vs a dict.
+
+Example-based complement to the stateful machine: one long seeded
+YCSB-style stream drives the engine while a plain dict tracks the live
+truth, and every get/scan is checked for equivalence — including
+tombstone shadowing across tables, after a major compaction, and after
+a crash + WAL recovery.
+"""
+
+import random
+
+import pytest
+
+from repro.lsm import EngineConfig, LSMEngine, MajorCompaction
+
+KEYSPACE = 60
+
+
+def check_all_reads(engine: LSMEngine, model: dict) -> None:
+    """Every key's get and a spread of scans must match the model."""
+    for key in range(KEYSPACE):
+        record = engine.get(key)
+        if key in model:
+            assert record is not None, f"lost key {key}"
+            assert record.value_size == model[key], f"stale value for {key}"
+        else:
+            assert record is None, f"phantom key {key}"
+    for start in (0, 1, KEYSPACE // 3, KEYSPACE - 5):
+        for length in (1, 3, 17, 100):
+            expected = sorted(k for k in model if k >= start)[:length]
+            got = engine.scan(start, length)
+            assert [r.key for r in got] == expected, (start, length)
+            assert [r.value_size for r in got] == [model[k] for k in expected]
+
+
+@pytest.mark.parametrize("mode", ("map", "append"))
+@pytest.mark.parametrize("seed", (1, 2))
+def test_mixed_stream_oracle(mode, seed):
+    rng = random.Random(seed)
+    engine = LSMEngine(EngineConfig(memtable_capacity=7, memtable_mode=mode))
+    model: dict[int, int] = {}
+    for step in range(1, 401):
+        key = rng.randrange(KEYSPACE)
+        roll = rng.random()
+        if roll < 0.55:
+            engine.put(key, value_size=step)
+            model[key] = step
+        elif roll < 0.80:
+            engine.delete(key)
+            model.pop(key, None)
+        elif roll < 0.90:
+            record = engine.get(key)
+            assert (record is not None) == (key in model)
+        else:
+            length = rng.randint(1, 10)
+            expected = sorted(k for k in model if k >= key)[:length]
+            assert [r.key for r in engine.scan(key, length)] == expected
+        if step % 100 == 0:
+            check_all_reads(engine, model)
+
+    # Tombstones now shadow versions across many tables.
+    engine.flush()
+    check_all_reads(engine, model)
+
+    engine.compact(MajorCompaction("BT(I)", seed=0))
+    assert engine.table_count == 1
+    check_all_reads(engine, model)
+
+    # More churn on top of the compacted table, then crash + recover.
+    for step in range(401, 481):
+        key = rng.randrange(KEYSPACE)
+        if rng.random() < 0.6:
+            engine.put(key, value_size=step)
+            model[key] = step
+        else:
+            engine.delete(key)
+            model.pop(key, None)
+    engine = engine.simulate_crash_and_recover()
+    check_all_reads(engine, model)

@@ -87,6 +87,24 @@ class TestReads:
         assert a.key_range_overlaps(b)
         assert not a.key_range_overlaps(c)
 
+    def test_get_batch_matches_get(self):
+        pytest.importorskip("numpy")
+        keys = list(range(0, 1000, 3))
+        table = make_table(0, keys)
+        queries = list(range(-5, 1010, 7))
+        rows = table.get_batch(queries)
+        assert rows is not None
+        for query, row in zip(queries, rows.tolist()):
+            record = table.get(query)
+            if record is None:
+                assert row == -1
+            else:
+                assert table.records[row] is record
+
+    def test_get_batch_requires_int_columns(self):
+        table = make_table(0, ["a", "b"])
+        assert table.get_batch(["a"]) is None
+
 
 class TestMerge:
     def test_newest_version_wins(self):
