@@ -88,6 +88,7 @@ def write_bench_json(results_dir: Path, name: str, payload: dict) -> Path:
     Values must be JSON-serializable; keep them primitive.
     """
     path = results_dir / f"BENCH_{name}.json"
-    document = {"bench": name, "fast_mode": is_fast(), **payload}
+    machine = {"cpu_count": os.cpu_count() or 1}
+    document = {"bench": name, "fast_mode": is_fast(), "machine": machine, **payload}
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path

@@ -9,6 +9,12 @@ flags metrics that moved more than a threshold between the first and
 last snapshot: metrics whose name marks a direction (``speedup`` —
 higher is better; ``seconds``/``overhead`` — lower is better) are
 flagged as regressions, anything else as a change worth a look.
+
+Snapshots record the machine they ran on (``machine.cpu_count``).  When
+that differs between the first and last snapshot, a slower wall clock
+usually means "fewer cores", not "slower code": such movements are
+flagged ``CROSS-MACHINE`` instead of ``REGRESSION`` and never fail the
+``--fail-on-regression`` gate.
 """
 
 from __future__ import annotations
@@ -82,6 +88,8 @@ class TrendReport:
     benches: dict[str, dict[str, list[Optional[float]]]]
     regressions: list[tuple[str, str, float]] = field(default_factory=list)
     changes: list[tuple[str, str, float]] = field(default_factory=list)
+    #: Would-be regressions where the machine changed between snapshots.
+    cross_machine: list[tuple[str, str, float]] = field(default_factory=list)
 
     @property
     def has_history(self) -> bool:
@@ -109,7 +117,13 @@ def build_report(
     if len(snapshots) < 2:
         return report
     for name, metrics in benches.items():
+        machines = [
+            v for v in metrics.get("machine.cpu_count", []) if v is not None
+        ]
+        machine_changed = len(machines) >= 2 and machines[0] != machines[-1]
         for metric, values in metrics.items():
+            if metric.startswith("machine."):
+                continue  # run metadata, not a perf metric
             present = [v for v in values if v is not None]
             if len(present) < 2 or present[0] == 0:
                 continue
@@ -122,7 +136,9 @@ def build_report(
                 (direction > 0 and pct < 0) or (direction < 0 and pct > 0)
             )
             entry = (name, metric, pct)
-            if worse:
+            if worse and machine_changed:
+                report.cross_machine.append(entry)
+            elif worse:
                 report.regressions.append(entry)
             elif direction is None:
                 report.changes.append(entry)
@@ -137,6 +153,9 @@ def render_report(report: TrendReport, threshold: float = DEFAULT_THRESHOLD) -> 
     }
     flagged.update(
         {(name, metric): "changed" for name, metric, _ in report.changes}
+    )
+    flagged.update(
+        {(name, metric): "CROSS-MACHINE" for name, metric, _ in report.cross_machine}
     )
     for name, metrics in report.benches.items():
         rows = []
@@ -183,13 +202,20 @@ def render_report(report: TrendReport, threshold: float = DEFAULT_THRESHOLD) -> 
             )
         summary = (
             f"{len(report.regressions)} regression(s), "
-            f"{len(report.changes)} unclassified change(s) beyond "
+            f"{len(report.changes)} unclassified change(s), "
+            f"{len(report.cross_machine)} cross-machine movement(s) beyond "
             f"{threshold:.0%} between {report.labels[0]} and {report.labels[-1]}"
         )
         if report.regressions:
             summary += "".join(
                 f"\n  REGRESSION {name}:{metric} {pct:+.1%}"
                 for name, metric, pct in report.regressions
+            )
+        if report.cross_machine:
+            summary += "".join(
+                f"\n  CROSS-MACHINE {name}:{metric} {pct:+.1%}"
+                " (cpu_count differs between snapshots)"
+                for name, metric, pct in report.cross_machine
             )
         sections.append(summary)
     else:

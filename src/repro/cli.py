@@ -103,6 +103,17 @@ def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
         "--data-plane", default=None, choices=["auto", "fast", "reference"],
         help="simulator data plane override (see docs/simulator.md)",
     )
+    parser.add_argument(
+        "--merge-executor",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="real merge-execution backend for phase-2 schedules; outputs "
+        "are byte-identical for every choice (see docs/concurrency.md)",
+    )
+    parser.add_argument(
+        "--merge-workers", type=int, default=None,
+        help="workers for the thread/process merge executor (0 = one per CPU)",
+    )
     parser.add_argument("--seed", type=int, default=None, help="base RNG seed")
     parser.add_argument(
         "--set",
@@ -138,6 +149,8 @@ def _collect_overrides(args: argparse.Namespace) -> dict[str, Any]:
         ("estimator", "estimator"),
         ("hll_precision", "hll_precision"),
         ("data_plane", "data_plane"),
+        ("merge_executor", "merge_executor"),
+        ("merge_workers", "merge_workers"),
         ("seed", "seed"),
     ):
         value = getattr(args, flag)
@@ -164,9 +177,15 @@ def _execute(args: argparse.Namespace, scenario: Scenario | str) -> int:
     print(run.render(), end="")
     if args.verbose:
         read_phase = "; read phase: served" if run.read_phase_served else ""
+        merge = ""
+        if run.config.merge_executor != "serial":
+            merge = (
+                f"; merge executor: {run.config.merge_executor} "
+                f"x{run.config.merge_workers or 'auto'}"
+            )
         print(
             f"\n[data plane: {run.plane_used}; runs={run.runs} "
-            f"jobs={run.jobs}{read_phase}]"
+            f"jobs={run.jobs}{merge}{read_phase}]"
         )
     if path is not None:
         print(f"\n[manifest written to {path}]")

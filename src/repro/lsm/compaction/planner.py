@@ -1,0 +1,106 @@
+"""Dependency-graph planning for merge schedules.
+
+A :class:`~repro.core.schedule.MergeSchedule` lists its steps in a
+topological order (step ``j`` may only read tables that already exist),
+but the order hides the *actual* dependency structure: two adjacent
+steps are often independent and can run on different workers.  This is
+the parallelism BALANCETREE's DAG schedules are built around — merges
+within a level share no tables — and what the paper's Figure 7b
+exploits.
+
+:func:`plan_schedule` recovers that structure.  A step *depends* on the
+steps that produce its non-initial inputs (initial tables ``0..n-1``
+exist from the start; the output of step ``j`` has id ``n + j``, which
+is what makes the producer lookup O(1)).  A step is *ready* once every
+dependency has finished — the same rule the simulated list scheduler in
+:mod:`~repro.lsm.compaction.executor` has always used for its lane
+model, now driving real workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.schedule import MergeSchedule, MergeStep
+from ...errors import CompactionError
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """The dependency DAG of one merge schedule.
+
+    ``dependencies[j]`` are the step indices whose outputs step ``j``
+    reads; ``dependents[j]`` is the inverse edge set.  Both are derived
+    purely from table ids, so a plan is deterministic for a given
+    schedule regardless of how it is later executed.
+    """
+
+    n_initial: int
+    steps: tuple[MergeStep, ...]
+    dependencies: tuple[tuple[int, ...], ...]
+    dependents: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    def ready_steps(self) -> tuple[int, ...]:
+        """Steps executable immediately (all inputs are initial tables)."""
+        return tuple(
+            index
+            for index, deps in enumerate(self.dependencies)
+            if not deps
+        )
+
+    def topological_waves(self) -> list[list[int]]:
+        """Steps grouped into maximal concurrent waves.
+
+        Wave 0 holds every initially-ready step; wave ``i + 1`` holds the
+        steps whose last dependency lies in wave ``i``.  The number of
+        waves is the schedule's critical-path length in merge steps —
+        the depth a perfectly parallel execution cannot go below.
+        """
+        wave_of: dict[int, int] = {}
+        waves: list[list[int]] = []
+        for index, deps in enumerate(self.dependencies):
+            # Steps appear in topological order, so every dependency
+            # already has a wave.
+            wave = 1 + max((wave_of[dep] for dep in deps), default=-1)
+            wave_of[index] = wave
+            if wave == len(waves):
+                waves.append([])
+            waves[wave].append(index)
+        return waves
+
+    @property
+    def critical_path_steps(self) -> int:
+        """Merge steps on the longest dependency chain."""
+        return len(self.topological_waves())
+
+
+def plan_schedule(schedule: MergeSchedule) -> SchedulePlan:
+    """Derive the ready-set DAG of a (validated) merge schedule."""
+    n = schedule.n_initial
+    n_steps = len(schedule.steps)
+    dependencies: list[tuple[int, ...]] = []
+    dependents: list[list[int]] = [[] for _ in range(n_steps)]
+    for index, step in enumerate(schedule.steps):
+        deps = []
+        for table_id in step.inputs:
+            if table_id < n:
+                continue  # initial table, exists from the start
+            producer = table_id - n
+            if not 0 <= producer < index:
+                raise CompactionError(
+                    f"step #{index} reads table {table_id}, which no "
+                    f"earlier step produces"
+                )
+            deps.append(producer)
+            dependents[producer].append(index)
+        dependencies.append(tuple(deps))
+    return SchedulePlan(
+        n_initial=n,
+        steps=schedule.steps,
+        dependencies=tuple(dependencies),
+        dependents=tuple(tuple(d) for d in dependents),
+    )

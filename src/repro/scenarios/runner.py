@@ -94,6 +94,12 @@ def render_comparison_table(
         or comparison.per_strategy[label].scans_mean
         for label in labels
     )
+    # Merge-execution columns appear only when a non-serial backend ran,
+    # so historical (serial) reports stay byte-identical.
+    parallel = any(
+        comparison.per_strategy[label].merge_executor != "serial"
+        for label in labels
+    )
     headers = [
         "strategy",
         "costactual mean",
@@ -102,6 +108,8 @@ def render_comparison_table(
         "sim seconds",
         "overhead s",
     ]
+    if parallel:
+        headers += ["merge wall s", "workers", "util%"]
     if served:
         headers += ["read amp", "bloom FP%", "read MB"]
     rows = []
@@ -115,6 +123,12 @@ def render_comparison_table(
             agg.simulated_seconds_mean + agg.strategy_overhead_mean,
             agg.strategy_overhead_mean,
         ]
+        if parallel:
+            row += [
+                agg.merge_wall_seconds_mean,
+                f"{agg.merge_executor} x{agg.merge_workers}",
+                agg.merge_utilization_mean * 100.0,
+            ]
         if served:
             row += [
                 agg.read_amplification_mean,
@@ -187,6 +201,12 @@ def _cell_metrics(agg: AggregateResult) -> dict[str, Any]:
         "simulated_seconds_std": agg.simulated_seconds_std,
         "strategy_overhead_mean": agg.strategy_overhead_mean,
         "wall_seconds_mean": agg.wall_seconds_mean,
+        # Real merge-execution accounting (additive keys; serial
+        # defaults for strategies that never ran a parallel backend).
+        "merge_executor": agg.merge_executor,
+        "merge_workers": agg.merge_workers,
+        "merge_wall_seconds_mean": agg.merge_wall_seconds_mean,
+        "merge_utilization_mean": agg.merge_utilization_mean,
         # Serving-phase read metrics (additive keys; all zero for
         # write-only mixes — see store.py's schema policy).
         "reads_mean": agg.reads_mean,

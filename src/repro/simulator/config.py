@@ -69,6 +69,15 @@ class SimulationConfig:
     # exceptional ineligible shapes), "reference" forces the
     # operation-at-a-time engine loop and the heap merge kernel.
     data_plane: str = "auto"
+    # Real merge-execution backend for phase-2 schedules: "serial" (the
+    # reference loop — the default, so all goldens stay byte-identical),
+    # "thread" (workers drive the GIL-releasing columnar kernel) or
+    # "process" (columns shipped to a process pool).  Outputs and cost
+    # metrics are byte-identical for every backend and worker count;
+    # only measured wall clock differs (see docs/concurrency.md).
+    merge_executor: str = "serial"
+    # Real workers for the thread/process executors; 0 = one per CPU.
+    merge_workers: int = 0
 
     def __post_init__(self) -> None:
         # Normalize + validate the backend/estimator names eagerly so a
@@ -97,6 +106,18 @@ class SimulationConfig:
             raise ConfigError(
                 f"data_plane must be 'auto', 'fast' or 'reference', "
                 f"got {self.data_plane!r}"
+            )
+        from ..lsm.compaction.executor import MERGE_EXECUTORS
+
+        if self.merge_executor not in MERGE_EXECUTORS:
+            raise ConfigError(
+                f"merge_executor must be one of {MERGE_EXECUTORS}, "
+                f"got {self.merge_executor!r}"
+            )
+        if self.merge_workers < 0:
+            raise ConfigError(
+                f"merge_workers must be >= 0 (0 = one per CPU), "
+                f"got {self.merge_workers}"
             )
         if self.memtable_mode not in ("append", "map"):
             raise ConfigError(
@@ -224,6 +245,9 @@ class SimulationConfig:
                 parts.append(f"{name.split('_')[0]}={value:.0%}")
         if self.data_plane != "auto":
             parts.append(f"data_plane={self.data_plane}")
+        if self.merge_executor != "serial":
+            workers = self.merge_workers or "auto"
+            parts.append(f"merge={self.merge_executor}x{workers}")
         return " ".join(parts)
 
     @classmethod

@@ -23,6 +23,12 @@ class StrategyResult:
     simulated_seconds: float
     strategy_overhead_seconds: float
     wall_seconds: float
+    # Real merge-execution accounting (serial defaults for strategies
+    # that never ran a parallel backend; see lsm/compaction/executor.py).
+    merge_executor: str = "serial"
+    merge_workers: int = 1
+    merge_wall_seconds: float = 0.0
+    merge_utilization: float = 0.0
     # Serving-phase read metrics (zero when the mix has no reads/scans
     # or the serving phase did not run; see simulator/read_path.py).
     reads: int = 0
@@ -81,6 +87,13 @@ class AggregateResult:
     wall_seconds_mean: float
     strategy_overhead_mean: float
     lopt_entries_mean: float
+    # Real merge-execution accounting: the backend/worker settings are
+    # constant across runs of one config; wall clock and utilization are
+    # averaged like the other measured times.
+    merge_executor: str = "serial"
+    merge_workers: int = 1
+    merge_wall_seconds_mean: float = 0.0
+    merge_utilization_mean: float = 0.0
     # Serving-phase read metrics, averaged over runs (all zero for
     # write-only mixes so historical reports are unchanged).
     reads_mean: float = 0.0
@@ -130,6 +143,14 @@ def aggregate(results: Sequence[StrategyResult]) -> AggregateResult:
         ),
         lopt_entries_mean=statistics.mean(
             [result.lopt_entries for result in results]
+        ),
+        merge_executor=results[0].merge_executor,
+        merge_workers=results[0].merge_workers,
+        merge_wall_seconds_mean=statistics.mean(
+            [result.merge_wall_seconds for result in results]
+        ),
+        merge_utilization_mean=statistics.mean(
+            [result.merge_utilization for result in results]
         ),
         reads_mean=statistics.mean([result.reads for result in results]),
         scans_mean=statistics.mean([result.scans for result in results]),

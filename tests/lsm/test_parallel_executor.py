@@ -1,0 +1,242 @@
+"""Planner + execution-backend properties: any backend, same bytes.
+
+The parallel merge engine rests on two invariants:
+
+* :func:`plan_schedule` recovers exactly the producer/consumer structure
+  a schedule's table ids encode, and its waves are the fixpoint of the
+  ready-set rule (a step is ready once every dependency has finished);
+* every :class:`ExecutionBackend` is a pure function of the schedule —
+  serial, thread and process execution produce byte-identical tables,
+  cost metrics, simulated durations and propagated sketches for any
+  worker count.
+
+Both are checked here over hypothesis-generated random valid schedules.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MergeSchedule, MergeStep
+from repro.errors import CompactionError
+from repro.lsm import Record, SSTable, SimulatedDisk, execute_schedule
+from repro.lsm.compaction import make_execution_backend, plan_schedule
+from repro.lsm.compaction.executor import resolve_merge_workers
+
+
+@st.composite
+def schedules(draw, min_initial: int = 2, max_initial: int = 8) -> MergeSchedule:
+    """Random valid schedules: repeatedly merge 2-3 live tables."""
+    n = draw(st.integers(min_initial, max_initial))
+    live = list(range(n))
+    steps = []
+    next_id = n
+    while len(live) > 1:
+        fan_in = draw(st.integers(2, min(3, len(live))))
+        chosen = []
+        for _ in range(fan_in):
+            chosen.append(live.pop(draw(st.integers(0, len(live) - 1))))
+        steps.append(MergeStep(tuple(chosen), next_id))
+        live.append(next_id)
+        next_id += 1
+    schedule = MergeSchedule(n, steps)
+    schedule.validate()
+    return schedule
+
+
+def make_tables(n_tables, seed, keys_per_table=12, universe=40, tombstone_rate=0.0):
+    rng = random.Random(seed)
+    tables = []
+    seqno = 0
+    for table_id in range(n_tables):
+        records = []
+        for key in sorted(rng.sample(range(universe), keys_per_table)):
+            seqno += 1
+            if rng.random() < tombstone_rate:
+                records.append(Record.delete(key, seqno))
+            else:
+                records.append(Record.put(key, seqno, value_size=30))
+        tables.append(SSTable(table_id, records))
+    return tables
+
+
+class TestPlannerProperties:
+    @given(schedule=schedules())
+    @settings(max_examples=50, deadline=None)
+    def test_dependencies_are_exactly_the_producers(self, schedule):
+        plan = plan_schedule(schedule)
+        n = schedule.n_initial
+        for index, step in enumerate(plan.steps):
+            producers = {
+                table_id - n for table_id in step.inputs if table_id >= n
+            }
+            assert set(plan.dependencies[index]) == producers
+            assert all(dep < index for dep in plan.dependencies[index])
+        # dependents is the exact inverse edge set
+        edges = {
+            (dep, index)
+            for index, deps in enumerate(plan.dependencies)
+            for dep in deps
+        }
+        inverse = {
+            (index, dependent)
+            for index, dependents in enumerate(plan.dependents)
+            for dependent in dependents
+        }
+        assert edges == inverse
+
+    @given(schedule=schedules())
+    @settings(max_examples=50, deadline=None)
+    def test_waves_are_the_ready_set_fixpoint(self, schedule):
+        plan = plan_schedule(schedule)
+        waves = plan.topological_waves()
+        done: set[int] = set()
+        remaining = set(range(plan.n_steps))
+        assert set(waves[0]) == set(plan.ready_steps())
+        for wave in waves:
+            ready = {
+                index
+                for index in remaining
+                if all(dep in done for dep in plan.dependencies[index])
+            }
+            assert set(wave) == ready
+            done |= ready
+            remaining -= ready
+        assert not remaining
+        assert plan.critical_path_steps == len(waves)
+
+    def test_corrupt_schedule_rejected(self):
+        # MergeSchedule.__init__ validates, so hand-build a corrupt one:
+        # step 0 reads table 3, which only step 1 (later) produces.
+        schedule = object.__new__(MergeSchedule)
+        schedule.n_initial = 2
+        schedule.steps = (MergeStep((0, 3), 2), MergeStep((1, 2), 3))
+        with pytest.raises(CompactionError, match="no earlier step"):
+            plan_schedule(schedule)
+
+
+class TestBackendEquivalence:
+    @staticmethod
+    def _run(tables, schedule, executor, workers=None):
+        return execute_schedule(
+            tables,
+            schedule,
+            SimulatedDisk(),
+            next_table_id=100,
+            lanes=3,
+            executor=executor,
+            workers=workers,
+        )
+
+    @staticmethod
+    def _assert_equal(reference, candidate):
+        assert candidate.output_table.records == reference.output_table.records
+        assert candidate.output_table.table_id == reference.output_table.table_id
+        assert candidate.n_merges == reference.n_merges
+        assert candidate.cost_actual_entries == reference.cost_actual_entries
+        assert (
+            candidate.cost_simplified_entries
+            == reference.cost_simplified_entries
+        )
+        assert candidate.bytes_read == reference.bytes_read
+        assert candidate.bytes_written == reference.bytes_written
+        assert candidate.io_seconds == reference.io_seconds
+        assert candidate.simulated_seconds == reference.simulated_seconds
+        ref_sketch = reference.output_table.cached_sketch()
+        out_sketch = candidate.output_table.cached_sketch()
+        if ref_sketch is None:
+            assert out_sketch is None
+        else:
+            assert out_sketch._registers == ref_sketch._registers
+
+    @given(
+        schedule=schedules(),
+        seed=st.integers(0, 10_000),
+        with_tombstones=st.booleans(),
+        workers=st.sampled_from([1, 2, 5]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_thread_matches_serial(
+        self, schedule, seed, with_tombstones, workers
+    ):
+        tables = make_tables(
+            schedule.n_initial,
+            seed=seed,
+            tombstone_rate=0.3 if with_tombstones else 0.0,
+        )
+        for table in tables:
+            table.sketch()
+        serial = self._run(tables, schedule, "serial")
+        threaded = self._run(tables, schedule, "thread", workers=workers)
+        self._assert_equal(serial, threaded)
+
+    def test_process_matches_serial(self):
+        pytest.importorskip("numpy")
+        schedule = MergeSchedule(
+            4, [MergeStep((0, 1), 4), MergeStep((2, 3), 5), MergeStep((4, 5), 6)]
+        )
+        tables = make_tables(4, seed=13, tombstone_rate=0.25)
+        serial = self._run(tables, schedule, "serial")
+        processed = self._run(tables, schedule, "process", workers=2)
+        self._assert_equal(serial, processed)
+
+    def test_single_table_schedule_runs_on_every_backend(self):
+        schedule = MergeSchedule(1, [])
+        tables = make_tables(1, seed=3)
+        for executor in ("serial", "thread"):
+            result = self._run(tables, schedule, executor)
+            assert result.n_merges == 0
+            assert result.output_table is tables[0]
+
+
+class TestBackendErrors:
+    def test_unknown_executor(self):
+        with pytest.raises(CompactionError, match="unknown merge executor"):
+            make_execution_backend("gpu")
+
+    def test_negative_workers(self):
+        with pytest.raises(CompactionError, match="must be >= 0"):
+            resolve_merge_workers(-1)
+
+    def test_auto_workers_resolve_to_cpu_count(self):
+        assert resolve_merge_workers(None) >= 1
+        assert resolve_merge_workers(0) == resolve_merge_workers(None)
+        assert resolve_merge_workers(3) == 3
+
+    def test_serial_backend_defaults_to_one_worker(self):
+        assert make_execution_backend("serial").workers == 1
+        assert make_execution_backend("thread", 4).workers == 4
+
+    def test_process_rejects_heap_kernel(self):
+        pytest.importorskip("numpy")
+        schedule = MergeSchedule(2, [MergeStep((0, 1), 2)])
+        tables = make_tables(2, seed=5)
+        with pytest.raises(CompactionError, match="heap"):
+            execute_schedule(
+                tables,
+                schedule,
+                SimulatedDisk(),
+                next_table_id=100,
+                merge_kernel="heap",
+                executor="process",
+            )
+
+    def test_process_rejects_non_columnar_tables(self):
+        pytest.importorskip("numpy")
+        schedule = MergeSchedule(2, [MergeStep((0, 1), 2)])
+        tables = [
+            SSTable(0, [Record.put("a", 1, value_size=10)]),
+            SSTable(1, [Record.put("b", 2, value_size=10)]),
+        ]
+        with pytest.raises(CompactionError, match="column view"):
+            execute_schedule(
+                tables,
+                schedule,
+                SimulatedDisk(),
+                next_table_id=100,
+                executor="process",
+            )

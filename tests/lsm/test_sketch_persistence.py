@@ -90,6 +90,24 @@ class TestExecutorPropagation:
         assert inherited is not None
         assert inherited._registers == HyperLogLog.of(output.key_set)._registers
 
+    def test_propagation_lossless_for_every_common_parameterization(self):
+        # The single-pass intersection must adopt one lossless union
+        # sketch per (precision, seed) cached on all inputs.
+        tables = make_tables(3, seed=8)
+        for table in tables:
+            table.sketch(precision=9)
+            table.sketch(precision=11, seed=3)
+        schedule = MergeSchedule(3, [MergeStep((0, 1), 3), MergeStep((3, 2), 4)])
+        result = execute_schedule(
+            tables, schedule, SimulatedDisk(), next_table_id=10, drop_tombstones=False
+        )
+        output = result.output_table
+        for precision, seed in ((9, 0), (11, 3)):
+            adopted = output.cached_sketch(precision, seed)
+            assert adopted is not None
+            fresh = HyperLogLog.of(output.key_set, precision=precision, seed=seed)
+            assert adopted._registers == fresh._registers
+
     def test_no_propagation_without_input_sketches(self):
         tables = make_tables(2, seed=4)
         schedule = MergeSchedule(2, [MergeStep((0, 1), 2)])
@@ -98,7 +116,7 @@ class TestExecutorPropagation:
         )
         assert result.output_table.cached_sketch() is None
 
-    def test_tombstone_drop_blocks_final_propagation(self):
+    def test_tombstone_drop_rebuilds_live_key_sketch(self):
         tables = make_tables(2, seed=5, tombstone_rate=0.4)
         for table in tables:
             table.sketch()
@@ -106,8 +124,28 @@ class TestExecutorPropagation:
         result = execute_schedule(
             tables, schedule, SimulatedDisk(), next_table_id=10, drop_tombstones=True
         )
-        # GC dropped keys, so the union sketch would overcount: not adopted.
-        assert result.output_table.cached_sketch() is None
+        # GC dropped keys, so the union sketch would overcount: the
+        # output's sketch is rebuilt from the surviving keys instead and
+        # must equal a fresh build exactly.
+        output = result.output_table
+        rebuilt = output.cached_sketch()
+        assert rebuilt is not None
+        assert rebuilt._registers == HyperLogLog.of(output.key_set)._registers
+
+    def test_live_key_rebuild_only_for_common_parameterizations(self):
+        # Only (precision, seed) pairs cached on *every* input are worth
+        # keeping alive on the output; a one-sided cache is not rebuilt.
+        tables = make_tables(2, seed=7, tombstone_rate=0.4)
+        tables[0].sketch(precision=10)
+        tables[0].sketch(precision=12)
+        tables[1].sketch(precision=12)
+        schedule = MergeSchedule(2, [MergeStep((0, 1), 2)])
+        result = execute_schedule(
+            tables, schedule, SimulatedDisk(), next_table_id=10, drop_tombstones=True
+        )
+        output = result.output_table
+        assert output.cached_sketch(precision=10) is None
+        assert output.cached_sketch(precision=12) is not None
 
     def test_tombstone_free_final_merge_still_propagates(self):
         tables = make_tables(2, seed=6)

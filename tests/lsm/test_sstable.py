@@ -386,9 +386,12 @@ class TestColumnarSketchPropagation:
         rebuilt = HyperLogLog.of([1, 2, 3, 4, 5], precision=10)
         assert adopted.cardinality() == rebuilt.cardinality()
 
-    def test_gc_with_tombstones_blocks_propagation(self):
+    def test_gc_with_tombstones_rebuilds_live_key_sketch(self):
         """Tombstone GC may drop keys, so adopting input sketches would
-        overcount; the output must rebuild instead."""
+        overcount; the output instead gets a sketch rebuilt from its
+        surviving keys — bottommost tables keep their caches too."""
+        from repro.hll import HyperLogLog
+
         tables = [
             make_columnar(0, [1, 2, 3]),
             make_columnar(1, [2, 6], seqno_start=10, tombstones={2}),
@@ -397,7 +400,10 @@ class TestColumnarSketchPropagation:
             table.sketch(precision=10)
         result = self.execute(tables, drop_tombstones=True)
         assert result.output_table.key_set == frozenset({1, 3, 6})
-        assert result.output_table.cached_sketch(precision=10) is None
+        rebuilt = result.output_table.cached_sketch(precision=10)
+        assert rebuilt is not None
+        fresh = HyperLogLog.of([1, 3, 6], precision=10)
+        assert rebuilt._registers == fresh._registers
 
     def test_no_gc_propagates_despite_tombstones(self):
         """Without GC the output keys are exactly the input union, so

@@ -175,18 +175,17 @@ class TestSweep:
 
 class TestBenchTrends:
     @staticmethod
-    def _write_snapshot(directory, speedup, seconds):
+    def _write_snapshot(directory, speedup, seconds, cpu_count=None):
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / "BENCH_demo.json").write_text(
-            json.dumps(
-                {
-                    "bench": "demo",
-                    "fast_mode": False,
-                    "speedup": speedup,
-                    "optimized_seconds": seconds,
-                }
-            )
-        )
+        document = {
+            "bench": "demo",
+            "fast_mode": False,
+            "speedup": speedup,
+            "optimized_seconds": seconds,
+        }
+        if cpu_count is not None:
+            document["machine"] = {"cpu_count": cpu_count}
+        (directory / "BENCH_demo.json").write_text(json.dumps(document))
 
     def test_single_snapshot_table(self, capsys, tmp_path):
         self._write_snapshot(tmp_path / "a", 8.0, 0.1)
@@ -220,6 +219,29 @@ class TestBenchTrends:
         )
         assert code == 0
         assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_cross_machine_movement_does_not_fail(self, capsys, tmp_path):
+        """A worse number on a different machine is not a regression."""
+        self._write_snapshot(tmp_path / "old", 8.0, 0.1, cpu_count=8)
+        self._write_snapshot(tmp_path / "new", 2.0, 0.4, cpu_count=1)
+        code = main(
+            ["bench-trends", str(tmp_path / "old"), str(tmp_path / "new"),
+             "--fail-on-regression"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CROSS-MACHINE" in out
+        assert "0 regression(s)" in out
+
+    def test_same_machine_movement_still_fails(self, capsys, tmp_path):
+        self._write_snapshot(tmp_path / "old", 8.0, 0.1, cpu_count=4)
+        self._write_snapshot(tmp_path / "new", 2.0, 0.4, cpu_count=4)
+        code = main(
+            ["bench-trends", str(tmp_path / "old"), str(tmp_path / "new"),
+             "--fail-on-regression"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
 
     def test_reads_committed_results_dir(self, capsys):
         """The repo's own results/ snapshots render without error."""
