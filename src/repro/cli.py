@@ -104,6 +104,12 @@ def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="simulator data plane override (see docs/simulator.md)",
     )
     parser.add_argument(
+        "--storage", default=None, choices=["memory", "disk"],
+        help="phase-1 sstable storage: 'disk' spills every flushed table "
+        "through the on-disk sstable format and reloads it (results are "
+        "byte-identical to 'memory'; see docs/durability.md)",
+    )
+    parser.add_argument(
         "--merge-executor",
         default=None,
         choices=["serial", "thread", "process"],
@@ -149,6 +155,7 @@ def _collect_overrides(args: argparse.Namespace) -> dict[str, Any]:
         ("estimator", "estimator"),
         ("hll_precision", "hll_precision"),
         ("data_plane", "data_plane"),
+        ("storage", "storage"),
         ("merge_executor", "merge_executor"),
         ("merge_workers", "merge_workers"),
         ("seed", "seed"),

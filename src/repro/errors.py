@@ -47,6 +47,18 @@ class StorageError(ReproError):
     """The LSM storage substrate was driven into an invalid state."""
 
 
+class CorruptionError(StorageError):
+    """Durable bytes failed a checksum or structural validation.
+
+    Raised when an sstable block, manifest, or (non-tail) WAL frame does
+    not match its recorded CRC, or when a recovered log violates the
+    seqno monotonicity invariant — the storage layer refuses to serve
+    possibly-wrong data instead of degrading silently.  A *torn tail*
+    on the WAL is not corruption: the partial final frame is dropped and
+    recovery proceeds (see docs/durability.md).
+    """
+
+
 class CompactionError(ReproError):
     """A compaction run could not be completed."""
 

@@ -215,6 +215,25 @@ class HyperLogLog:
     def __or__(self, other: "HyperLogLog") -> "HyperLogLog":
         return self.union(other)
 
+    def to_bytes(self) -> bytes:
+        """The raw register bytes (``2**precision`` of them).
+
+        Together with ``(precision, seed)`` this is the sketch's complete
+        state; :meth:`from_registers` restores it losslessly, so a sketch
+        persisted in an sstable footer estimates identically after a
+        round-trip.
+        """
+        return self._registers.to_bytes()
+
+    @classmethod
+    def from_registers(
+        cls, precision: int, seed: int, data: bytes, force_pure: bool = False
+    ) -> "HyperLogLog":
+        """Rebuild a sketch from :meth:`to_bytes` output."""
+        sketch = cls(precision=precision, seed=seed, force_pure=force_pure)
+        sketch._registers.load_bytes(data)
+        return sketch
+
     def copy(self) -> "HyperLogLog":
         clone = HyperLogLog.__new__(HyperLogLog)
         clone.precision = self.precision

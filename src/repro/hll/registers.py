@@ -282,6 +282,23 @@ class RegisterArray:
         """Register contents as a plain list (testing/introspection)."""
         return [int(value) for value in self._regs]
 
+    def to_bytes(self) -> bytes:
+        """The registers as ``m`` raw bytes (sstable footer persistence)."""
+        if self._numpy:
+            return self._regs.tobytes()
+        return bytes(self._regs)
+
+    def load_bytes(self, data: bytes) -> None:
+        """Overwrite the registers from :meth:`to_bytes` output."""
+        if len(data) != self.m:
+            raise ValueError(
+                f"register payload is {len(data)} bytes, expected {self.m}"
+            )
+        if self._numpy:
+            self._regs[:] = _np.frombuffer(data, dtype=_np.uint8)
+        else:
+            self._regs[:] = data
+
     def max_rank(self) -> int:
         """The largest register value (0 for an empty sketch)."""
         if self._numpy:

@@ -18,7 +18,16 @@ from .compaction import (
     execute_schedule,
 )
 from .disk import DiskTimingModel, IoStats, SimulatedDisk
+from .durable import DurableLSMEngine
 from .engine import EngineConfig, LSMEngine, ReadStats
+from .faults import (
+    CrashPoint,
+    FaultInjectedFileSystem,
+    FaultPlan,
+    LocalFileSystem,
+    MemoryFileSystem,
+)
+from .format import FileWriteAheadLog
 from .metrics import AmplificationReport, measure_amplification
 from .memtable import (
     AppendLogMemtable,
@@ -38,13 +47,20 @@ __all__ = [
     "CompactionResult",
     "CompactionStrategy",
     "ControllerStats",
+    "CrashPoint",
     "DateTieredCompaction",
     "DiskTimingModel",
+    "DurableLSMEngine",
     "ENTRY_OVERHEAD_BYTES",
     "EngineConfig",
+    "FaultInjectedFileSystem",
+    "FaultPlan",
+    "FileWriteAheadLog",
     "IoStats",
     "LSMEngine",
     "LeveledCompaction",
+    "LocalFileSystem",
+    "MemoryFileSystem",
     "MERGE_KERNELS",
     "MajorCompaction",
     "Memtable",

@@ -122,6 +122,28 @@ class BloomFilter:
         return len(self._bits)
 
     @classmethod
+    def from_state(
+        cls, m_bits: int, k_hashes: int, count: int, bits: bytes
+    ) -> "BloomFilter":
+        """Rebuild a filter from its persisted state (sstable footer).
+
+        Bypasses the capacity/fp-rate sizing — the geometry was fixed
+        when the filter was first built and must be restored verbatim or
+        the probe positions would no longer match the stored bits.
+        """
+        if len(bits) != (m_bits + 7) // 8:
+            raise ConfigError(
+                f"bloom bit payload is {len(bits)} bytes, expected "
+                f"{(m_bits + 7) // 8} for m_bits={m_bits}"
+            )
+        bloom = cls.__new__(cls)
+        bloom.m_bits = m_bits
+        bloom.k_hashes = k_hashes
+        bloom._bits = bytearray(bits)
+        bloom._count = count
+        return bloom
+
+    @classmethod
     def of(cls, keys: Iterable[Hashable], fp_rate: float = 0.01) -> "BloomFilter":
         """Build a filter sized for (and filled with) ``keys``."""
         keys = list(keys)

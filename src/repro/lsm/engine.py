@@ -117,6 +117,33 @@ class LSMEngine:
         self.flush_count = 0
         self.user_bytes_written = 0  # payload accepted from callers
 
+    @classmethod
+    def open(
+        cls,
+        directory=None,
+        config: Optional[EngineConfig] = None,
+        fs=None,
+        disk: Optional[SimulatedDisk] = None,
+        wal_sync_every: int = 1,
+    ):
+        """Open (or create) a durable engine rooted at ``directory``.
+
+        Rebuilds the pre-crash state from files alone — manifest, live
+        sstables, WAL replay — and returns a
+        :class:`~repro.lsm.durable.DurableLSMEngine`.  ``fs`` accepts a
+        :mod:`~repro.lsm.faults` filesystem in place of a directory
+        (in-memory or fault-injected stores for tests).
+        """
+        from .durable import DurableLSMEngine
+
+        return DurableLSMEngine.open(
+            directory=directory,
+            config=config,
+            fs=fs,
+            disk=disk,
+            wal_sync_every=wal_sync_every,
+        )
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
@@ -299,16 +326,21 @@ class LSMEngine:
     # ------------------------------------------------------------------
     # Crash recovery
     # ------------------------------------------------------------------
-    def simulate_crash_and_recover(self) -> "LSMEngine":
+    def simulate_crash_and_recover(
+        self, config: Optional[EngineConfig] = None
+    ) -> "LSMEngine":
         """Model a process crash and WAL-based recovery.
 
         The memtable (volatile) is lost; sstables and the WAL (durable)
         survive.  Recovery replays the WAL into a fresh memtable, exactly
         as a real LSM store starts up.  Returns the recovered engine;
         with ``use_wal=False`` any unflushed writes are gone — the
-        trade-off the WAL exists to prevent.
+        trade-off the WAL exists to prevent.  ``config`` restarts the
+        engine under different tunables (e.g. a smaller memtable, which
+        can force flushes mid-replay that the crashed process never hit).
         """
-        recovered = LSMEngine(self.config, disk=self.disk)
+        config = config or self.config
+        recovered = LSMEngine(config, disk=self.disk)
         recovered.sstables = list(self.sstables)
         recovered._next_table_id = self._next_table_id
         max_disk_seqno = max(
@@ -318,12 +350,20 @@ class LSMEngine:
         survivors = self.wal.replay() if self.config.use_wal else []
         max_wal_seqno = max((record.seqno for record in survivors), default=0)
         recovered._seqno = max(max_disk_seqno, max_wal_seqno)
-        for record in survivors:
-            # Replay preserves original seqnos; records re-enter the new
-            # WAL so a second crash before the next flush is still safe.
+        # Survivors re-enter the new WAL via restore(): they are already
+        # durable in the pre-crash log, so recovery must not re-bill the
+        # disk or bytes_appended_total for them.
+        if config.use_wal:
+            recovered.wal.restore(survivors)
+        for index, record in enumerate(survivors):
             if recovered.memtable.is_full:
+                # flush() truncates the recovered log wholesale, but the
+                # survivors not yet replayed exist nowhere else — put
+                # them back so a second crash mid-recovery still finds
+                # them in the log.
                 recovered.flush()
-            recovered.wal.append(record)
+                if config.use_wal:
+                    recovered.wal.restore(survivors[index:])
             recovered.memtable.add(record)
         return recovered
 

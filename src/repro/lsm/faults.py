@@ -1,0 +1,331 @@
+"""Filesystem abstraction + fault injection for crash-recovery testing.
+
+The durable engine never touches ``os`` directly: every byte goes
+through a :class:`FileSystem` — :class:`LocalFileSystem` (real files
+under a directory) or :class:`MemoryFileSystem` (a dict of bytearrays,
+used by the exhaustive crash harness so enumerating hundreds of fault
+points costs no real fsyncs).  Both expose the same small surface:
+append/overwrite file handles with explicit ``sync()``, atomic
+``rename``, ``remove``, ``truncate`` and a ``flip_bit`` corruption
+injector.
+
+:class:`FaultInjectedFileSystem` wraps either and models process death
+with an adversarial durability rule: **data appended since a file's
+last ``sync()`` is lost at the crash** (the file rolls back to its
+synced length), except that the crashing write itself may *tear* —
+``torn_write_bytes`` of it land before everything dies.  Crashes fire
+at the Nth destructive operation (append/rename/remove/truncate/
+open_write) or the Nth sync, counted across all files, so a test can
+kill the engine at every boundary of a flush/compact/truncate cycle by
+sweeping ``crash_at_write``/``crash_at_sync`` from 1 upward.  Metadata
+operations (rename, remove, truncate, the implicit truncation of
+``open_write``) are modeled as atomic and immediately durable — the
+rename-based manifest commit relies on exactly that POSIX guarantee.
+
+A fired plan disarms itself, so the same filesystem object can be
+reused to *recover* from the crash it just injected.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..errors import StorageError
+
+
+class CrashPoint(Exception):
+    """Simulated process death, raised mid-operation by a fault plan.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: storage code
+    must never catch it — it propagates to the test harness exactly as
+    ``kill -9`` would end the process.
+    """
+
+
+@dataclass
+class FaultPlan:
+    """When and how to kill the filesystem.
+
+    ``crash_at_write``/``crash_at_sync`` are 1-based counts of
+    destructive/sync operations; the matching operation does not
+    complete.  ``torn_write_bytes`` applies when the crashing operation
+    is an append: that many bytes of the payload reach the file before
+    the crash (a torn write).
+    """
+
+    crash_at_write: Optional[int] = None
+    crash_at_sync: Optional[int] = None
+    torn_write_bytes: int = 0
+
+
+class LocalFile:
+    """An unbuffered binary file handle with explicit sync."""
+
+    def __init__(self, path: Path, mode: str) -> None:
+        self._path = path
+        self._f = open(path, mode, buffering=0)
+
+    def append(self, data: bytes) -> None:
+        self._f.write(data)
+
+    def sync(self) -> None:
+        os.fsync(self._f.fileno())
+
+    def close(self) -> None:
+        self._f.close()
+
+
+class LocalFileSystem:
+    """Real files under one root directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        return self.root / name
+
+    def open_write(self, name: str) -> LocalFile:
+        return LocalFile(self._path(name), "wb")
+
+    def open_append(self, name: str) -> LocalFile:
+        return LocalFile(self._path(name), "ab")
+
+    def read_bytes(self, name: str) -> bytes:
+        return self._path(name).read_bytes()
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    def listdir(self) -> list[str]:
+        return sorted(entry.name for entry in self.root.iterdir())
+
+    def size(self, name: str) -> int:
+        return self._path(name).stat().st_size
+
+    def rename(self, src: str, dst: str) -> None:
+        os.replace(self._path(src), self._path(dst))
+
+    def remove(self, name: str) -> None:
+        os.remove(self._path(name))
+
+    def truncate(self, name: str, length: int = 0) -> None:
+        os.truncate(self._path(name), length)
+
+    def flip_bit(self, name: str, byte_offset: int, bit: int = 0) -> None:
+        """Flip one bit at rest (corruption injection for tests)."""
+        path = self._path(name)
+        data = bytearray(path.read_bytes())
+        if not 0 <= byte_offset < len(data):
+            raise StorageError(
+                f"flip_bit offset {byte_offset} outside {name} "
+                f"({len(data)} bytes)"
+            )
+        data[byte_offset] ^= 1 << bit
+        path.write_bytes(bytes(data))
+
+
+class _MemoryFile:
+    """Handle over a :class:`MemoryFileSystem` buffer."""
+
+    def __init__(self, buffer: bytearray) -> None:
+        self._buffer = buffer
+
+    def append(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def sync(self) -> None:  # memory is always "durable"
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryFileSystem:
+    """An in-memory FileSystem: same semantics, zero real I/O.
+
+    The crash harness re-runs whole workloads once per fault point;
+    backing them with dict-held bytearrays keeps the sweep cheap while
+    the :class:`FaultInjectedFileSystem` wrapper supplies the
+    lose-unsynced-data crash model on top.
+    """
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytearray] = {}
+
+    def _buffer(self, name: str) -> bytearray:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(name) from None
+
+    def open_write(self, name: str) -> _MemoryFile:
+        self._files[name] = bytearray()
+        return _MemoryFile(self._files[name])
+
+    def open_append(self, name: str) -> _MemoryFile:
+        return _MemoryFile(self._files.setdefault(name, bytearray()))
+
+    def read_bytes(self, name: str) -> bytes:
+        return bytes(self._buffer(name))
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def listdir(self) -> list[str]:
+        return sorted(self._files)
+
+    def size(self, name: str) -> int:
+        return len(self._buffer(name))
+
+    def rename(self, src: str, dst: str) -> None:
+        self._files[dst] = self._buffer(src)
+        del self._files[src]
+
+    def remove(self, name: str) -> None:
+        self._buffer(name)
+        del self._files[name]
+
+    def truncate(self, name: str, length: int = 0) -> None:
+        del self._buffer(name)[length:]
+
+    def flip_bit(self, name: str, byte_offset: int, bit: int = 0) -> None:
+        buffer = self._buffer(name)
+        if not 0 <= byte_offset < len(buffer):
+            raise StorageError(
+                f"flip_bit offset {byte_offset} outside {name} "
+                f"({len(buffer)} bytes)"
+            )
+        buffer[byte_offset] ^= 1 << bit
+
+
+class _FaultFile:
+    """Tracks the synced length of one file for crash rollback."""
+
+    def __init__(self, fs: "FaultInjectedFileSystem", name: str, synced: int):
+        self._fs = fs
+        self.name = name
+        self.length = synced
+        self.synced_length = synced
+
+    def append(self, data: bytes) -> None:
+        self._fs._on_append(self, data)
+
+    def sync(self) -> None:
+        self._fs._on_sync(self)
+
+    def close(self) -> None:
+        # close() is not a durability point: unsynced data written before
+        # a close is still lost if the process dies afterwards.
+        pass
+
+
+class FaultInjectedFileSystem:
+    """A FileSystem decorator that kills the process on schedule."""
+
+    def __init__(self, base, plan: Optional[FaultPlan] = None) -> None:
+        self.base = base
+        self.plan = plan or FaultPlan()
+        self.writes_done = 0
+        self.syncs_done = 0
+        self._open_files: list[_FaultFile] = []
+
+    # -- crash machinery ------------------------------------------------
+    def _crash(self) -> None:
+        """Roll every file back to its synced length, then die."""
+        for file in self._open_files:
+            if file.length > file.synced_length and self.base.exists(file.name):
+                self.base.truncate(file.name, file.synced_length)
+                file.length = file.synced_length
+        self.plan = FaultPlan()  # disarm: the same fs can drive recovery
+        raise CrashPoint(
+            f"injected crash after {self.writes_done} writes / "
+            f"{self.syncs_done} syncs"
+        )
+
+    def _before_destructive(self) -> bool:
+        """Count one destructive op; True when this op is the crash."""
+        self.writes_done += 1
+        return self.plan.crash_at_write == self.writes_done
+
+    def _on_append(self, file: _FaultFile, data: bytes) -> None:
+        if self._before_destructive():
+            torn = data[: max(0, self.plan.torn_write_bytes)]
+            handle = self.base.open_append(file.name)
+            handle.append(torn)
+            handle.close()
+            file.length += len(torn)
+            self._crash()
+        handle = self.base.open_append(file.name)
+        handle.append(data)
+        handle.close()
+        file.length += len(data)
+
+    def _on_sync(self, file: _FaultFile) -> None:
+        self.syncs_done += 1
+        if self.plan.crash_at_sync == self.syncs_done:
+            self._crash()  # the sync never happened
+        base_handle = self.base.open_append(file.name)
+        base_handle.sync()
+        base_handle.close()
+        file.synced_length = file.length
+
+    def _track(self, name: str, synced: int) -> _FaultFile:
+        file = _FaultFile(self, name, synced)
+        self._open_files.append(file)
+        return file
+
+    # -- FileSystem surface ---------------------------------------------
+    def open_write(self, name: str) -> _FaultFile:
+        if self._before_destructive():
+            self._crash()  # the truncating open never happened
+        self.base.open_write(name).close()
+        self._open_files = [f for f in self._open_files if f.name != name]
+        return self._track(name, 0)
+
+    def open_append(self, name: str) -> _FaultFile:
+        synced = self.base.size(name) if self.base.exists(name) else 0
+        if not self.base.exists(name):
+            self.base.open_append(name).close()
+        return self._track(name, synced)
+
+    def read_bytes(self, name: str) -> bytes:
+        return self.base.read_bytes(name)
+
+    def exists(self, name: str) -> bool:
+        return self.base.exists(name)
+
+    def listdir(self) -> list[str]:
+        return self.base.listdir()
+
+    def size(self, name: str) -> int:
+        return self.base.size(name)
+
+    def rename(self, src: str, dst: str) -> None:
+        if self._before_destructive():
+            self._crash()  # the rename never happened
+        self.base.rename(src, dst)
+        for file in self._open_files:
+            if file.name == src:
+                file.name = dst
+
+    def remove(self, name: str) -> None:
+        if self._before_destructive():
+            self._crash()
+        self.base.remove(name)
+        self._open_files = [f for f in self._open_files if f.name != name]
+
+    def truncate(self, name: str, length: int = 0) -> None:
+        if self._before_destructive():
+            self._crash()
+        self.base.truncate(name, length)
+        for file in self._open_files:
+            if file.name == name:
+                file.length = length
+                file.synced_length = min(file.synced_length, length)
+
+    def flip_bit(self, name: str, byte_offset: int, bit: int = 0) -> None:
+        self.base.flip_bit(name, byte_offset, bit)

@@ -1,0 +1,36 @@
+"""On-disk file formats of the durability tier.
+
+Three formats, all built from the same CRC32C-framed block primitive
+(``u32 length | u32 crc32c(payload) | payload``, little-endian):
+
+* :mod:`~repro.lsm.format.sstable_io` — the block-based sstable file:
+  data blocks of encoded records, a sparse index block, the bloom
+  filter and every cached HyperLogLog sketch persisted in the footer.
+  ``encode_sstable``/``decode_sstable`` round-trip byte-identically.
+* :mod:`~repro.lsm.format.wal` — :class:`FileWriteAheadLog`, an
+  append-only log of length+CRC framed records with explicit ``sync()``
+  points; replay drops a torn tail and rejects mid-log corruption.
+* :mod:`~repro.lsm.format.manifest` — the engine's commit record (live
+  table ids, next table id, last durable seqno), updated by
+  write-temp-then-atomic-rename so recovery sees either the old or the
+  new state, never a torn one.
+
+See docs/durability.md for the byte layouts, sync points and the
+recovery protocol that ties the three together.
+"""
+
+from .checksum import crc32c
+from .manifest import MANIFEST_NAME, ManifestState, read_manifest, write_manifest
+from .sstable_io import decode_sstable, encode_sstable
+from .wal import FileWriteAheadLog
+
+__all__ = [
+    "FileWriteAheadLog",
+    "MANIFEST_NAME",
+    "ManifestState",
+    "crc32c",
+    "decode_sstable",
+    "encode_sstable",
+    "read_manifest",
+    "write_manifest",
+]

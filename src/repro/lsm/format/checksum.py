@@ -1,0 +1,61 @@
+"""CRC32C (Castagnoli) — the checksum guarding every durable block.
+
+The same polynomial leveldb/RocksDB frame their blocks and log records
+with (reflected 0x1EDC6F41 = 0x82F63B78).  Table-driven and
+dependency-free; blocks are a few KiB, so the per-byte loop is never on
+a hot path.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_POLY = 0x82F63B78
+
+_TABLE = []
+for _index in range(256):
+    _crc = _index
+    for _ in range(8):
+        _crc = (_crc >> 1) ^ _POLY if _crc & 1 else _crc >> 1
+    _TABLE.append(_crc)
+del _index, _crc
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """The CRC32C of ``data``, optionally continuing from ``crc``."""
+    crc ^= 0xFFFFFFFF
+    table = _TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+#: Bytes of framing prepended to every block: u32 length + u32 crc32c.
+FRAME_HEADER_BYTES = 8
+
+
+def frame_block(payload: bytes) -> bytes:
+    """``u32 len | u32 crc32c(payload) | payload`` (little-endian)."""
+    return struct.pack("<II", len(payload), crc32c(payload)) + payload
+
+
+def read_block(data: bytes, offset: int) -> "tuple[bytes, int] | None":
+    """Unframe the block at ``offset``: ``(payload, next_offset)``.
+
+    Returns ``None`` when the frame is *incomplete or invalid* — a short
+    header, a length running past the buffer, or a CRC mismatch.  The
+    caller decides whether that means a droppable torn tail (WAL) or
+    corruption (sstable, manifest); this function cannot tell the two
+    apart.
+    """
+    if offset + FRAME_HEADER_BYTES > len(data):
+        return None
+    length, crc = struct.unpack_from("<II", data, offset)
+    start = offset + FRAME_HEADER_BYTES
+    end = start + length
+    if end > len(data):
+        return None
+    payload = data[start:end]
+    if crc32c(payload) != crc:
+        return None
+    return payload, end

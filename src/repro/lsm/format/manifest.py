@@ -1,0 +1,76 @@
+"""The MANIFEST: the engine's single atomic commit record.
+
+A tiny CRC-framed JSON document naming the live sstable ids (in level
+order), the next table id to allocate, and the highest sequence number
+already durable in an sstable.  Every update writes ``MANIFEST.tmp``,
+syncs it, then atomically renames over ``MANIFEST`` — recovery reads
+either the previous state or the new one, never a torn mix.  The rename
+is the *commit point* of a flush or compaction: an sstable file not yet
+named by the manifest is garbage, and the WAL may only be truncated
+after the manifest names the table that absorbed it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import CorruptionError
+from .checksum import frame_block, read_block
+
+MANIFEST_NAME = "MANIFEST"
+MANIFEST_TMP_NAME = "MANIFEST.tmp"
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ManifestState:
+    """What recovery needs to rebuild the engine's table view."""
+
+    live_tables: tuple[int, ...] = ()
+    next_table_id: int = 0
+    last_seqno: int = 0
+    version: int = _VERSION
+
+
+def write_manifest(fs, state: ManifestState) -> None:
+    """Durably replace the manifest via write-temp-then-rename."""
+    payload = json.dumps(
+        {
+            "version": state.version,
+            "live_tables": list(state.live_tables),
+            "next_table_id": state.next_table_id,
+            "last_seqno": state.last_seqno,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    handle = fs.open_write(MANIFEST_TMP_NAME)
+    handle.append(frame_block(payload))
+    handle.sync()
+    handle.close()
+    fs.rename(MANIFEST_TMP_NAME, MANIFEST_NAME)
+
+
+def read_manifest(fs) -> Optional[ManifestState]:
+    """The committed state, or ``None`` when no manifest exists yet."""
+    if not fs.exists(MANIFEST_NAME):
+        return None
+    data = fs.read_bytes(MANIFEST_NAME)
+    block = read_block(data, 0)
+    if block is None:
+        # The manifest is written whole through an atomic rename, so a
+        # bad frame cannot be a torn write — the bytes rotted at rest.
+        raise CorruptionError("MANIFEST failed its checksum")
+    payload, _end = block
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+        return ManifestState(
+            live_tables=tuple(int(t) for t in doc["live_tables"]),
+            next_table_id=int(doc["next_table_id"]),
+            last_seqno=int(doc["last_seqno"]),
+            version=int(doc["version"]),
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CorruptionError(f"MANIFEST is structurally invalid: {exc}") from exc

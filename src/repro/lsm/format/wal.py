@@ -1,0 +1,154 @@
+"""File-backed write-ahead log with CRC-framed records.
+
+Each append writes one frame — ``u32 len | u32 crc32c | encoded
+record`` — to an append-only file, followed by a ``sync()`` every
+``sync_every`` appends (1 = sync each record, the durable default).
+Replay distinguishes two failure shapes:
+
+* a **torn tail** — the *final* frame is short or fails its CRC, which
+  is exactly what a crash mid-append leaves behind.  The partial frame
+  is dropped and truncated away; every complete frame before it is kept.
+* **mid-log corruption** — a bad frame *followed by more bytes*, or a
+  frame whose payload decodes to a sequence number that does not
+  strictly increase.  Appends happen in seqno order, so either means
+  the durable bytes are wrong, and replay raises
+  :class:`~repro.errors.CorruptionError` rather than serve them.
+
+The class mirrors the in-memory :class:`~repro.lsm.wal.WriteAheadLog`
+surface (``append``/``replay``/``truncate``/``is_empty``/``__len__``/
+``bytes_appended_total``/``truncations``) so the engine can swap one
+for the other, and bills frame bytes to a
+:class:`~repro.lsm.disk.SimulatedDisk` when one is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import CorruptionError
+from ..disk import SimulatedDisk
+from ..record import Record
+from .checksum import FRAME_HEADER_BYTES, frame_block, read_block
+from .encoding import decode_record, encode_record
+
+WAL_NAME = "wal.log"
+
+
+class FileWriteAheadLog:
+    """An append-only, truncatable, crash-tolerant record log on disk."""
+
+    def __init__(
+        self,
+        fs,
+        name: str = WAL_NAME,
+        disk: Optional[SimulatedDisk] = None,
+        sync_every: int = 1,
+    ) -> None:
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be >= 1, got {sync_every}")
+        self._fs = fs
+        self._name = name
+        self._disk = disk
+        self._sync_every = sync_every
+        self._unsynced = 0
+        self.bytes_appended_total = 0
+        self.truncations = 0
+        # Repair a torn tail *before* opening for append, so new frames
+        # never land after garbage bytes.
+        self._entry_count = len(self._scan(repair=True))
+        self._file = fs.open_append(name)
+
+    # -- write path -----------------------------------------------------
+    def append(self, record: Record) -> None:
+        frame = frame_block(encode_record(record))
+        self._file.append(frame)
+        self.bytes_appended_total += len(frame)
+        if self._disk is not None:
+            self._disk.write(len(frame))
+        self._entry_count += 1
+        self._unsynced += 1
+        if self._unsynced >= self._sync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force appended frames to durable storage."""
+        self._file.sync()
+        self._unsynced = 0
+
+    def truncate(self) -> None:
+        """Discard logged records after a durable memtable flush."""
+        self._file.close()
+        self._fs.truncate(self._name, 0)
+        self._file = self._fs.open_append(self._name)
+        self._entry_count = 0
+        self._unsynced = 0
+        self.truncations += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+    # -- read path ------------------------------------------------------
+    def __len__(self) -> int:
+        return self._entry_count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._entry_count == 0
+
+    def replay(self) -> list[Record]:
+        """Records since the last truncation (crash-recovery view)."""
+        return self._scan(repair=False)
+
+    def _scan(self, repair: bool) -> list[Record]:
+        """Decode every complete frame; handle the tail per the rules.
+
+        With ``repair=True`` (open time) a torn tail is physically
+        truncated off the file so subsequent appends start clean.
+        """
+        data = self._fs.read_bytes(self._name) if self._fs.exists(self._name) else b""
+        records: list[Record] = []
+        offset = 0
+        last_seqno: Optional[int] = None
+        while offset < len(data):
+            block = read_block(data, offset)
+            if block is None:
+                # Bad frame: only droppable if nothing follows it.  A
+                # longest-possible torn frame is header + claimed length
+                # running past EOF; anything beyond that span means
+                # complete frames sit after the bad one → corruption.
+                if not self._is_plausible_tail(data, offset):
+                    raise CorruptionError(
+                        f"WAL frame at offset {offset} failed its checksum "
+                        "with valid data following it"
+                    )
+                if repair:
+                    self._fs.truncate(self._name, offset)
+                break
+            payload, next_offset = block
+            record, end = decode_record(payload, 0)
+            if end != len(payload):
+                raise CorruptionError(
+                    f"WAL frame at offset {offset} has {len(payload) - end} "
+                    "trailing bytes after the record"
+                )
+            if last_seqno is not None and record.seqno <= last_seqno:
+                raise CorruptionError(
+                    f"WAL seqno went backwards: {record.seqno} after "
+                    f"{last_seqno} (offset {offset}); the log is not a "
+                    "faithful append history"
+                )
+            last_seqno = record.seqno
+            records.append(record)
+            offset = next_offset
+        return records
+
+    @staticmethod
+    def _is_plausible_tail(data: bytes, offset: int) -> bool:
+        """Could the bad frame at ``offset`` be one torn final append?"""
+        remaining = len(data) - offset
+        if remaining < FRAME_HEADER_BYTES:
+            return True  # short header: certainly a torn tail
+        length = int.from_bytes(data[offset : offset + 4], "little")
+        # A torn append stops short of its declared end; if the buffer
+        # extends past it, the CRC failure is mid-log corruption.
+        return len(data) <= offset + FRAME_HEADER_BYTES + length

@@ -397,6 +397,26 @@ class SSTable:
             lo += 1
         return list(self.records[lo : lo + length])
 
+    # ------------------------------------------------------------------
+    # Durability (see repro.lsm.format.sstable_io for the byte layout)
+    # ------------------------------------------------------------------
+    def to_file(self, path) -> int:
+        """Write the table's canonical file bytes; returns the byte count."""
+        from .format.sstable_io import encode_sstable
+
+        data = encode_sstable(self)
+        with open(path, "wb") as handle:
+            handle.write(data)
+        return len(data)
+
+    @classmethod
+    def from_file(cls, path) -> "SSTable":
+        """Load a table written by :meth:`to_file` (CRC-verified)."""
+        from .format.sstable_io import decode_sstable
+
+        with open(path, "rb") as handle:
+            return decode_sstable(handle.read())
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"SSTable(id={self.table_id}, entries={self.entry_count}, "

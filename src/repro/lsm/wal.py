@@ -10,8 +10,9 @@ engine's total I/O picture, though not to compaction cost.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
+from ..errors import CorruptionError
 from .disk import SimulatedDisk
 from .record import Record
 
@@ -31,6 +32,17 @@ class WriteAheadLog:
         if self._disk is not None:
             self._disk.write(record.size_bytes)
 
+    def restore(self, records: Iterable[Record]) -> None:
+        """Re-enter already-durable records after a crash, billing nothing.
+
+        Recovery replays survivors out of the pre-crash log; those bytes
+        were appended (and charged to the disk) before the crash, so
+        putting them back into the post-crash log must not move
+        ``bytes_appended_total`` or the simulated disk's write ledger —
+        recovery re-reads durable state, it does not re-write it.
+        """
+        self._entries.extend(records)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -39,7 +51,22 @@ class WriteAheadLog:
         return not self._entries
 
     def replay(self) -> list[Record]:
-        """Records since the last truncation (crash-recovery view)."""
+        """Records since the last truncation (crash-recovery view).
+
+        Validates the log's core invariant — strictly increasing seqnos,
+        because appends happen in write order — and raises
+        :class:`~repro.errors.CorruptionError` on any violation rather
+        than hand back a history that cannot have been written.
+        """
+        last_seqno: Optional[int] = None
+        for index, record in enumerate(self._entries):
+            if last_seqno is not None and record.seqno <= last_seqno:
+                raise CorruptionError(
+                    f"WAL seqno went backwards: {record.seqno} after "
+                    f"{last_seqno} (entry {index}); the log is not a "
+                    "faithful append history"
+                )
+            last_seqno = record.seqno
         return list(self._entries)
 
     def truncate(self) -> None:

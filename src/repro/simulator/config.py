@@ -78,6 +78,12 @@ class SimulationConfig:
     merge_executor: str = "serial"
     # Real workers for the thread/process executors; 0 = one per CPU.
     merge_workers: int = 0
+    # Phase-1 sstable storage: "memory" (the default — tables live as
+    # Python objects, all goldens byte-identical) or "disk" (every
+    # flushed table is spilled through the on-disk sstable format and
+    # reloaded before phase 2; results are byte-identical by the format
+    # round-trip guarantee, see docs/durability.md).
+    storage: str = "memory"
 
     def __post_init__(self) -> None:
         # Normalize + validate the backend/estimator names eagerly so a
@@ -106,6 +112,10 @@ class SimulationConfig:
             raise ConfigError(
                 f"data_plane must be 'auto', 'fast' or 'reference', "
                 f"got {self.data_plane!r}"
+            )
+        if self.storage not in ("memory", "disk"):
+            raise ConfigError(
+                f"storage must be 'memory' or 'disk', got {self.storage!r}"
             )
         from ..lsm.compaction.executor import MERGE_EXECUTORS
 
@@ -245,6 +255,8 @@ class SimulationConfig:
                 parts.append(f"{name.split('_')[0]}={value:.0%}")
         if self.data_plane != "auto":
             parts.append(f"data_plane={self.data_plane}")
+        if self.storage != "memory":
+            parts.append(f"storage={self.storage}")
         if self.merge_executor != "serial":
             workers = self.merge_workers or "auto"
             parts.append(f"merge={self.merge_executor}x{workers}")

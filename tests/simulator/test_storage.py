@@ -1,0 +1,63 @@
+"""storage="disk" spills phase-1 tables through the on-disk format.
+
+Every table takes a full encode → file → decode round trip, so a disk
+run proves the durable format preserves exactly what the simulator
+measures: keys, seqnos, bloom filters and HLL sketches.  Results must be
+byte-identical to the in-memory run.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulator import SimulationConfig, generate_sstables, run_strategy
+
+
+def config(**overrides):
+    defaults = dict(
+        recordcount=150,
+        operationcount=900,
+        memtable_capacity=100,
+        distribution="zipfian",
+        update_fraction=0.4,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestStorageConfig:
+    def test_default_is_memory(self):
+        assert config().storage == "memory"
+
+    def test_invalid_storage_rejected(self):
+        with pytest.raises(ConfigError):
+            config(storage="tape")
+
+    def test_describe_mentions_disk(self):
+        assert "storage=disk" in config(storage="disk").describe()
+        assert "storage" not in config().describe()
+
+
+class TestDiskStorageEquivalence:
+    def test_phase1_tables_identical_after_disk_spill(self):
+        memory = generate_sstables(config()).tables
+        disk = generate_sstables(config(storage="disk")).tables
+        assert len(memory) == len(disk)
+        for a, b in zip(memory, disk):
+            assert list(a) == list(b)
+            assert a.min_key == b.min_key and a.max_key == b.max_key
+
+    @pytest.mark.parametrize("policy", ["SO", "BT(I)", "SI"])
+    def test_full_run_metrics_identical(self, policy):
+        memory_result = run_strategy(
+            generate_sstables(config()).tables, policy, config()
+        )
+        disk_config = config(storage="disk")
+        disk_result = run_strategy(
+            generate_sstables(disk_config).tables, policy, disk_config
+        )
+        assert disk_result.cost_actual == memory_result.cost_actual
+        assert disk_result.cost_simplified == memory_result.cost_simplified
+        assert disk_result.simulated_seconds == memory_result.simulated_seconds
+        assert disk_result.bytes_read == memory_result.bytes_read
+        assert disk_result.n_tables == memory_result.n_tables

@@ -77,6 +77,18 @@ class TestRun:
         assert code == 0
         assert "plane=fast" in capsys.readouterr().out
 
+    def test_storage_disk_smoke(self, capsys):
+        """--storage disk spills phase-1 tables through the on-disk
+        sstable format; the run completes with the same output shape."""
+        code = main(
+            ["run", "churn", "--runs", "1", "--no-store", "--storage", "disk"]
+            + TINY_SETS
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "costactual" in out
+        assert "storage=disk" in out
+
     def test_kernel_sweep_parameter(self, capsys):
         code = main(
             ["sweep", "--parameter", "k", "--values", "2,4",
