@@ -20,6 +20,7 @@ flagged ``CROSS-MACHINE`` instead of ``REGRESSION`` and never fail the
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
@@ -57,13 +58,30 @@ def flatten_scalars(
 
 
 def load_snapshot(directory: Path | str) -> dict[str, dict[str, float]]:
-    """``bench name -> {metric: value}`` for one results directory."""
+    """``bench name -> {metric: value}`` for one results directory.
+
+    A malformed snapshot — unreadable file, truncated/invalid JSON, or
+    a JSON document that is not an object — must not abort a whole
+    trends run over the remaining (good) snapshots: it is skipped with
+    a :class:`UserWarning` naming the file and the problem.
+    """
     directory = Path(directory)
     snapshot: dict[str, dict[str, float]] = {}
     for path in sorted(directory.glob("BENCH_*.json")):
         try:
             document = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError) as exc:
+            warnings.warn(
+                f"skipping unreadable bench snapshot {path}: {exc}",
+                stacklevel=2,
+            )
+            continue
+        if not isinstance(document, Mapping):
+            warnings.warn(
+                f"skipping malformed bench snapshot {path}: expected a JSON "
+                f"object, got {type(document).__name__}",
+                stacklevel=2,
+            )
             continue
         name = document.get("bench", path.stem[len("BENCH_"):])
         snapshot[name] = flatten_scalars(document)

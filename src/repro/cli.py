@@ -120,6 +120,20 @@ def _add_common_run_arguments(parser: argparse.ArgumentParser) -> None:
         "--merge-workers", type=int, default=None,
         help="workers for the thread/process merge executor (0 = one per CPU)",
     )
+    parser.add_argument(
+        "--num-shards", type=int, default=None,
+        help="shard the keyspace over N independent engines "
+        "(1 = unsharded; see docs/sharding.md)",
+    )
+    parser.add_argument(
+        "--shard-skew", type=float, default=None,
+        help="zipfian shard-weight exponent of the multi-tenant skew "
+        "model (0 = equal shares)",
+    )
+    parser.add_argument(
+        "--partitioner", default=None, choices=["hash", "range"],
+        help="key -> shard routing for sharded runs",
+    )
     parser.add_argument("--seed", type=int, default=None, help="base RNG seed")
     parser.add_argument(
         "--set",
@@ -158,6 +172,9 @@ def _collect_overrides(args: argparse.Namespace) -> dict[str, Any]:
         ("storage", "storage"),
         ("merge_executor", "merge_executor"),
         ("merge_workers", "merge_workers"),
+        ("num_shards", "num_shards"),
+        ("shard_skew", "shard_skew"),
+        ("partitioner", "partitioner"),
         ("seed", "seed"),
     ):
         value = getattr(args, flag)

@@ -1,0 +1,62 @@
+"""Scale-out tier: sharded keyspace, traffic routing, cluster scheduling.
+
+See docs/sharding.md.  The subsystem splits a YCSB op stream over N
+independent engine shards (:mod:`~repro.cluster.partitioner`), runs the
+two-phase simulation per shard (:mod:`~repro.cluster.engine`) and folds
+the per-shard schedules into cluster metrics
+(:mod:`~repro.cluster.scheduler`).
+"""
+
+from .engine import (
+    SHARD_SEED_STRIDE,
+    ShardedEngine,
+    ShardRunResult,
+    combine_shard_runs,
+    run_shard,
+    run_sharded_cell,
+    shard_seed,
+    shard_streams,
+    sharded_shard_task,
+)
+from .partitioner import (
+    PARTITIONER_NAMES,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    ShardStream,
+    make_partitioner,
+    shard_weights,
+    split_stream,
+    stream_key_space,
+)
+from .scheduler import (
+    ClusterMetrics,
+    ClusterScheduler,
+    combine_shard_results,
+    imbalance_p99_over_mean,
+)
+
+__all__ = [
+    "SHARD_SEED_STRIDE",
+    "PARTITIONER_NAMES",
+    "ClusterMetrics",
+    "ClusterScheduler",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "ShardRunResult",
+    "ShardStream",
+    "ShardedEngine",
+    "combine_shard_results",
+    "combine_shard_runs",
+    "imbalance_p99_over_mean",
+    "make_partitioner",
+    "run_shard",
+    "run_sharded_cell",
+    "shard_seed",
+    "shard_streams",
+    "shard_weights",
+    "sharded_shard_task",
+    "split_stream",
+    "stream_key_space",
+]

@@ -333,6 +333,40 @@ def _sweep_scenarios() -> list[Scenario]:
     return [k_sweep, hll_sweep]
 
 
+def _cluster_scenarios() -> list[Scenario]:
+    """The scale-out tier's presets (see docs/sharding.md)."""
+    shard_sweep = Scenario(
+        name="shard-sweep",
+        title="scale-out ablation (1..8 hash shards, 50% updates)",
+        config=SimulationConfig.figure7(0.5, "latest", seed=17),
+        strategies=("SI", "SO", "BT(I)", "LM"),
+        sweep=SweepSpec("num_shards", (1, 2, 4, 8)),
+        fast_overrides=_FAST_OPS,
+        description="Shard the keyspace over 1..8 independent engines "
+        "(hash partitioner, equal weights): does the cluster makespan "
+        "under the shared lane budget shrink faster than the summed "
+        "compaction cost grows?",
+        tags=("preset", "cluster"),
+    )
+    multi_tenant = Scenario(
+        name="multi-tenant",
+        title="multi-tenant shard skew (8 shards, zipfian weights)",
+        config=replace(
+            SimulationConfig.figure7(0.5, "zipfian", seed=23),
+            num_shards=8,
+        ),
+        strategies=("SI", "SO", "BT(I)", "LM"),
+        sweep=SweepSpec("shard_skew", (0.0, 0.5, 0.9, 0.99)),
+        fast_overrides=_FAST_OPS,
+        description="Hot-tenant model: zipfian weights concentrate "
+        "traffic on a few of 8 shards while zipfian keys skew within "
+        "each — the ROADMAP's 'does SO's estimation overhead amortize "
+        "better than LM's under skewed shards?' experiment.",
+        tags=("preset", "cluster"),
+    )
+    return [shard_sweep, multi_tenant]
+
+
 #: The process-wide registry, pre-populated with the built-ins.
 REGISTRY = ScenarioRegistry()
 for _scenario in (
@@ -341,6 +375,7 @@ for _scenario in (
     + _preset_scenarios()
     + _ycsb_scenarios()
     + _sweep_scenarios()
+    + _cluster_scenarios()
 ):
     REGISTRY.register(_scenario)
 del _scenario

@@ -29,7 +29,9 @@ from ..simulator.runner import (
     sweep_hll_precision,
     sweep_k,
     sweep_memtable_capacity,
+    sweep_num_shards,
     sweep_operationcount,
+    sweep_shard_skew,
     sweep_update_fraction,
 )
 from .registry import REGISTRY, ScenarioRegistry
@@ -69,6 +71,14 @@ def execute_sweep(
         return sweep_hll_precision(
             config, [int(v) for v in values], labels, runs, jobs=jobs
         )
+    if sweep.parameter == "num_shards":
+        return sweep_num_shards(
+            config, [int(v) for v in values], labels, runs, jobs=jobs
+        )
+    if sweep.parameter == "shard_skew":
+        return sweep_shard_skew(
+            config, [float(v) for v in values], labels, runs, jobs=jobs
+        )
     raise ScenarioError(f"unknown sweep parameter {sweep.parameter!r}")
 
 
@@ -100,6 +110,11 @@ def render_comparison_table(
         comparison.per_strategy[label].merge_executor != "serial"
         for label in labels
     )
+    # Cluster columns appear only for sharded runs (num_shards > 1), so
+    # unsharded reports stay byte-identical.
+    sharded = any(
+        comparison.per_strategy[label].num_shards > 1 for label in labels
+    )
     headers = [
         "strategy",
         "costactual mean",
@@ -110,6 +125,8 @@ def render_comparison_table(
     ]
     if parallel:
         headers += ["merge wall s", "workers", "util%"]
+    if sharded:
+        headers += ["shards", "makespan s", "imbalance"]
     if served:
         headers += ["read amp", "bloom FP%", "read MB"]
     rows = []
@@ -128,6 +145,12 @@ def render_comparison_table(
                 agg.merge_wall_seconds_mean,
                 f"{agg.merge_executor} x{agg.merge_workers}",
                 agg.merge_utilization_mean * 100.0,
+            ]
+        if sharded:
+            row += [
+                agg.num_shards,
+                agg.cluster_makespan_mean,
+                agg.shard_imbalance_mean,
             ]
         if served:
             row += [
@@ -215,6 +238,14 @@ def _cell_metrics(agg: AggregateResult) -> dict[str, Any]:
         "bloom_fp_rate_mean": agg.bloom_fp_rate_mean,
         "read_bytes_mean": agg.read_bytes_mean,
         "scan_records_scanned_mean": agg.scan_records_scanned_mean,
+        # Cluster-level metrics (additive keys; num_shards == 1 with
+        # empty per-shard vectors for unsharded runs).
+        "num_shards": agg.num_shards,
+        "cluster_makespan_mean": agg.cluster_makespan_mean,
+        "shard_imbalance_mean": agg.shard_imbalance_mean,
+        "shard_ops_mean": list(agg.shard_ops_mean),
+        "shard_costs_mean": list(agg.shard_costs_mean),
+        "shard_read_amps_mean": list(agg.shard_read_amps_mean),
     }
 
 

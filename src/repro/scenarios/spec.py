@@ -34,6 +34,8 @@ SWEEP_PARAMETERS: tuple[str, ...] = (
     "operationcount",    # Figure 9b
     "k",                 # merge fan-in (k-sweep preset)
     "hll_precision",     # estimator resolution (hll-sweep preset)
+    "num_shards",        # scale-out tier (shard-sweep preset)
+    "shard_skew",        # multi-tenant shard weights (multi-tenant preset)
 )
 
 #: Version of the ``to_dict`` wire format (bumped on breaking changes).

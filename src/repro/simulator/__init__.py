@@ -35,7 +35,9 @@ from .runner import (
     sweep_hll_precision,
     sweep_k,
     sweep_memtable_capacity,
+    sweep_num_shards,
     sweep_operationcount,
+    sweep_shard_skew,
     sweep_update_fraction,
 )
 
@@ -66,6 +68,8 @@ __all__ = [
     "sweep_hll_precision",
     "sweep_k",
     "sweep_memtable_capacity",
+    "sweep_num_shards",
     "sweep_operationcount",
+    "sweep_shard_skew",
     "sweep_update_fraction",
 ]

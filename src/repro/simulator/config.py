@@ -84,6 +84,15 @@ class SimulationConfig:
     # reloaded before phase 2; results are byte-identical by the format
     # round-trip guarantee, see docs/durability.md).
     storage: str = "memory"
+    # Scale-out tier (see docs/sharding.md).  ``num_shards > 1`` routes
+    # the op stream over that many independent engine/strategy instances
+    # via ``partitioner`` ("hash" or "range"); ``shard_skew`` is the
+    # zipfian exponent of the multi-tenant shard-weight model (0.0 =
+    # equal shares).  The defaults keep every historical run on the
+    # unsharded path, byte-identical.
+    num_shards: int = 1
+    shard_skew: float = 0.0
+    partitioner: str = "hash"
 
     def __post_init__(self) -> None:
         # Normalize + validate the backend/estimator names eagerly so a
@@ -154,6 +163,21 @@ class SimulationConfig:
             raise ConfigError("memtable_capacity must be at least 1")
         if self.parallel_lanes < 1:
             raise ConfigError("parallel_lanes must be at least 1")
+        from ..cluster.partitioner import PARTITIONER_NAMES
+
+        if self.partitioner not in PARTITIONER_NAMES:
+            raise ConfigError(
+                f"partitioner must be one of {PARTITIONER_NAMES}, "
+                f"got {self.partitioner!r}"
+            )
+        if self.num_shards < 1:
+            raise ConfigError(
+                f"num_shards must be at least 1, got {self.num_shards}"
+            )
+        if not self.shard_skew >= 0.0:
+            raise ConfigError(
+                f"shard_skew must be >= 0, got {self.shard_skew!r}"
+            )
 
     def workload_config(self) -> WorkloadConfig:
         """The YCSB workload this simulation drives.
@@ -260,6 +284,10 @@ class SimulationConfig:
         if self.merge_executor != "serial":
             workers = self.merge_workers or "auto"
             parts.append(f"merge={self.merge_executor}x{workers}")
+        if self.num_shards > 1:
+            parts.append(f"shards={self.num_shards}x{self.partitioner}")
+            if self.shard_skew:
+                parts.append(f"shard_skew={self.shard_skew:g}")
         return " ".join(parts)
 
     @classmethod

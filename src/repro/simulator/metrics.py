@@ -43,6 +43,15 @@ class StrategyResult:
     scan_tables_pruned: int = 0
     scan_records_scanned: int = 0
     scan_records_returned: int = 0
+    # Cluster-level fields (num_shards == 1 with empty vectors for
+    # unsharded runs so historical results are unchanged; see
+    # cluster/scheduler.py for the makespan/imbalance definitions).
+    num_shards: int = 1
+    cluster_makespan_seconds: float = 0.0
+    shard_imbalance: float = 0.0
+    shard_ops: tuple[int, ...] = ()
+    shard_costs: tuple[int, ...] = ()
+    shard_read_amps: tuple[float, ...] = ()
 
     @property
     def bytes_total(self) -> int:
@@ -102,6 +111,15 @@ class AggregateResult:
     bloom_fp_rate_mean: float = 0.0
     read_bytes_mean: float = 0.0
     scan_records_scanned_mean: float = 0.0
+    # Cluster-level fields: shard count is constant across runs of one
+    # config; the makespan/imbalance headlines and the per-shard load
+    # vector are averaged elementwise over runs.
+    num_shards: int = 1
+    cluster_makespan_mean: float = 0.0
+    shard_imbalance_mean: float = 0.0
+    shard_ops_mean: tuple[float, ...] = ()
+    shard_costs_mean: tuple[float, ...] = ()
+    shard_read_amps_mean: tuple[float, ...] = ()
 
     @property
     def cost_over_lopt(self) -> float:
@@ -114,6 +132,21 @@ class AggregateResult:
 
 def _std(values: Sequence[float]) -> float:
     return statistics.stdev(values) if len(values) > 1 else 0.0
+
+
+def _elementwise_mean(
+    vectors: Sequence[Sequence[float]],
+) -> tuple[float, ...]:
+    """Per-shard mean over runs (empty when the vectors are empty)."""
+    if not vectors or not vectors[0]:
+        return ()
+    lengths = {len(vector) for vector in vectors}
+    if len(lengths) != 1:
+        raise ValueError(f"mixed shard-vector lengths: {sorted(lengths)}")
+    return tuple(
+        statistics.mean([float(vector[i]) for vector in vectors])
+        for i in range(len(vectors[0]))
+    )
 
 
 def aggregate(results: Sequence[StrategyResult]) -> AggregateResult:
@@ -165,6 +198,22 @@ def aggregate(results: Sequence[StrategyResult]) -> AggregateResult:
         ),
         scan_records_scanned_mean=statistics.mean(
             [result.scan_records_scanned for result in results]
+        ),
+        num_shards=results[0].num_shards,
+        cluster_makespan_mean=statistics.mean(
+            [result.cluster_makespan_seconds for result in results]
+        ),
+        shard_imbalance_mean=statistics.mean(
+            [result.shard_imbalance for result in results]
+        ),
+        shard_ops_mean=_elementwise_mean(
+            [result.shard_ops for result in results]
+        ),
+        shard_costs_mean=_elementwise_mean(
+            [result.shard_costs for result in results]
+        ),
+        shard_read_amps_mean=_elementwise_mean(
+            [result.shard_read_amps for result in results]
         ),
     )
 

@@ -83,8 +83,14 @@ def _comparison_cell(
 
     Module-level so worker processes can import it; deterministic given
     its arguments, which is what makes ``jobs`` invisible in the
-    results.
+    results.  Sharded configurations route to the cluster engine — the
+    routing depends on the config alone (``num_shards > 1``), never on
+    the job count, so a given config always takes the same code path.
     """
+    if config.num_shards > 1:
+        from ..cluster.engine import run_sharded_cell
+
+        return run_sharded_cell(config, labels, run_index)
     run_config = config.with_seed(config.seed + run_index)
     phase1 = generate_sstables(run_config)
     return {
@@ -105,14 +111,53 @@ def _run_cells(
 ) -> list[dict[str, StrategyResult]]:
     """Evaluate comparison cells serially or on a process pool.
 
-    Results come back in ``cells`` order either way.
+    Results come back in ``cells`` order either way.  Sharded cells
+    expand into per-shard tasks on the pool (a cell with 8 shards keeps
+    8 workers busy, not 1) and are reassembled by
+    :func:`~repro.cluster.engine.combine_shard_runs` — the same fold the
+    serial path applies, so the results are byte-identical for any
+    ``jobs``.
     """
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
-    if jobs == 1 or len(cells) <= 1:
+    if jobs == 1 or (
+        len(cells) <= 1
+        and all(config.num_shards == 1 for config, _, _ in cells)
+    ):
         return [_comparison_cell(*cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-        return list(pool.map(_comparison_cell, *zip(*cells)))
+    from ..cluster.engine import combine_shard_runs, sharded_shard_task
+
+    tasks: list[tuple[int, object, tuple]] = []
+    for index, (config, labels, run_index) in enumerate(cells):
+        if config.num_shards > 1:
+            for shard_id in range(config.num_shards):
+                tasks.append(
+                    (
+                        index,
+                        sharded_shard_task,
+                        (config, labels, run_index, shard_id),
+                    )
+                )
+        else:
+            tasks.append(
+                (index, _comparison_cell, (config, labels, run_index))
+            )
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [pool.submit(fn, *args) for _, fn, args in tasks]
+        outputs = [future.result() for future in futures]
+    results: list[dict[str, StrategyResult] | None] = [None] * len(cells)
+    shard_runs: dict[int, list] = {}
+    for (index, fn, _), output in zip(tasks, outputs):
+        if fn is _comparison_cell:
+            results[index] = output
+        else:
+            shard_runs.setdefault(index, []).append(output)
+    for index, runs in shard_runs.items():
+        config, labels, run_index = cells[index]
+        results[index] = combine_shard_runs(
+            config.with_seed(config.seed + run_index), labels, runs
+        )
+    return results
 
 
 def _comparison_from_cells(
@@ -278,3 +323,46 @@ def sweep_hll_precision(
         (float(p), replace(base, hll_precision=p)) for p in precisions
     ]
     return _sweep("hll_precision", points, labels, runs, jobs)
+
+
+def sweep_num_shards(
+    base: SimulationConfig,
+    shard_counts: Sequence[int],
+    labels: Sequence[str] | None = None,
+    runs: int = 3,
+    jobs: int = 1,
+) -> SweepResult:
+    """Scale-out sweep: shard the keyspace over 1..N engine instances.
+
+    The headline series are the cluster makespan under the shared lane
+    budget and the summed compaction cost — does splitting the workload
+    shrink the schedule faster than it inflates total work?
+    """
+    labels = tuple(labels) if labels is not None else strategy_labels()
+    points = [
+        (float(count), replace(base, num_shards=count))
+        for count in shard_counts
+    ]
+    return _sweep("num_shards", points, labels, runs, jobs)
+
+
+def sweep_shard_skew(
+    base: SimulationConfig,
+    skews: Sequence[float],
+    labels: Sequence[str] | None = None,
+    runs: int = 3,
+    jobs: int = 1,
+) -> SweepResult:
+    """Multi-tenant sweep: zipfian shard-weight skew at fixed shard count.
+
+    Answers the ROADMAP question of whether estimation-heavy policies
+    (SO) amortize their overhead better than LM under hot shards — the
+    imbalance column tracks how concentrated traffic became.
+    """
+    labels = tuple(labels) if labels is not None else strategy_labels()
+    base_shards = base if base.num_shards > 1 else replace(base, num_shards=8)
+    points = [
+        (float(skew), replace(base_shards, shard_skew=skew))
+        for skew in skews
+    ]
+    return _sweep("shard_skew", points, labels, runs, jobs)

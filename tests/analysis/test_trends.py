@@ -1,0 +1,52 @@
+"""Bench-trend loader robustness: bad snapshots warn and are skipped."""
+
+import json
+
+import pytest
+
+from repro.analysis.trends import build_report, load_snapshot
+
+
+def _write_bench(directory, name, payload):
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps({"bench": name, **payload}))
+    return path
+
+
+def test_load_snapshot_reads_good_benches(tmp_path):
+    _write_bench(tmp_path, "merge", {"speedup": 2.0, "wall_seconds": 1.5})
+    snapshot = load_snapshot(tmp_path)
+    assert snapshot == {"merge": {"speedup": 2.0, "wall_seconds": 1.5}}
+
+
+def test_truncated_json_warns_and_is_skipped(tmp_path):
+    _write_bench(tmp_path, "good", {"speedup": 2.0})
+    # A truncated write (e.g. a killed CI job) leaves invalid JSON.
+    (tmp_path / "BENCH_truncated.json").write_text('{"bench": "trunc", "spee')
+    with pytest.warns(UserWarning, match="BENCH_truncated.json"):
+        snapshot = load_snapshot(tmp_path)
+    assert snapshot == {"good": {"speedup": 2.0}}
+
+
+def test_non_object_json_warns_and_is_skipped(tmp_path):
+    _write_bench(tmp_path, "good", {"speedup": 2.0})
+    # Valid JSON, wrong shape: used to crash with AttributeError.
+    (tmp_path / "BENCH_list.json").write_text("[1, 2, 3]")
+    (tmp_path / "BENCH_scalar.json").write_text("42")
+    with pytest.warns(UserWarning, match="expected a JSON object"):
+        snapshot = load_snapshot(tmp_path)
+    assert snapshot == {"good": {"speedup": 2.0}}
+
+
+def test_build_report_survives_bad_snapshot_in_one_directory(tmp_path):
+    old = tmp_path / "old"
+    new = tmp_path / "new"
+    old.mkdir()
+    new.mkdir()
+    _write_bench(old, "merge", {"speedup": 4.0})
+    _write_bench(new, "merge", {"speedup": 1.0})
+    (new / "BENCH_broken.json").write_text("{not json")
+    with pytest.warns(UserWarning):
+        report = build_report([old, new])
+    # The bad file is skipped; the good bench still flags its regression.
+    assert ("merge", "speedup", -0.75) in report.regressions

@@ -4,8 +4,9 @@ import json
 
 import pytest
 
-from repro.errors import ScenarioError
+from repro.errors import ConfigError, ScenarioError
 from repro.scenarios import REGISTRY, Scenario, SweepSpec
+from repro.scenarios.spec import SWEEP_PARAMETERS
 from repro.simulator import SimulationConfig
 
 
@@ -105,3 +106,53 @@ class TestRegisteredScenarioRoundtrips:
         data["spec_version"] = 99
         with pytest.raises(ScenarioError):
             Scenario.from_dict(data)
+
+
+class TestClusterSweepParameters:
+    """The scale-out tier's sweep axes and presets (docs/sharding.md)."""
+
+    def test_cluster_parameters_registered(self):
+        assert "num_shards" in SWEEP_PARAMETERS
+        assert "shard_skew" in SWEEP_PARAMETERS
+
+    @pytest.mark.parametrize(
+        "parameter,values",
+        [("num_shards", (1, 2, 4, 8)), ("shard_skew", (0.0, 0.5, 0.99))],
+    )
+    def test_cluster_sweepspec_roundtrip(self, parameter, values):
+        spec = SweepSpec(parameter, values)
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+        via_json = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert via_json == spec
+
+    @pytest.mark.parametrize(
+        "name,parameter",
+        [("shard-sweep", "num_shards"), ("multi-tenant", "shard_skew")],
+    )
+    def test_cluster_presets_roundtrip_via_json(self, name, parameter):
+        scenario = REGISTRY.get(name)
+        assert scenario.sweep is not None
+        assert scenario.sweep.parameter == parameter
+        assert "cluster" in scenario.tags
+        rebuilt = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert rebuilt == scenario
+        assert rebuilt.spec_hash() == scenario.spec_hash()
+
+    def test_sharded_config_roundtrip(self):
+        config = SimulationConfig(
+            num_shards=4, shard_skew=0.9, partitioner="range"
+        )
+        assert SimulationConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_shards": 0},
+            {"shard_skew": -0.5},
+            {"shard_skew": float("nan")},
+            {"partitioner": "modulo"},
+        ],
+    )
+    def test_invalid_shard_fields_rejected(self, overrides):
+        with pytest.raises(ConfigError):
+            SimulationConfig(**overrides)
