@@ -29,6 +29,13 @@ from .faults import (
 )
 from .format import FileWriteAheadLog
 from .metrics import AmplificationReport, measure_amplification
+from .pipeline import (
+    DurablePipelinedLSMEngine,
+    FlushPipeline,
+    PipelineMetrics,
+    PipelinedLSMEngine,
+    resolve_flush_workers,
+)
 from .memtable import (
     AppendLogMemtable,
     Memtable,
@@ -51,11 +58,13 @@ __all__ = [
     "DateTieredCompaction",
     "DiskTimingModel",
     "DurableLSMEngine",
+    "DurablePipelinedLSMEngine",
     "ENTRY_OVERHEAD_BYTES",
     "EngineConfig",
     "FaultInjectedFileSystem",
     "FaultPlan",
     "FileWriteAheadLog",
+    "FlushPipeline",
     "IoStats",
     "LSMEngine",
     "LeveledCompaction",
@@ -64,6 +73,8 @@ __all__ = [
     "MERGE_KERNELS",
     "MajorCompaction",
     "Memtable",
+    "PipelineMetrics",
+    "PipelinedLSMEngine",
     "ReadStats",
     "Record",
     "SSTable",
@@ -76,5 +87,6 @@ __all__ = [
     "make_memtable",
     "measure_amplification",
     "merge_sstables",
+    "resolve_flush_workers",
     "table_from_records",
 ]

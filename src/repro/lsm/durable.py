@@ -68,9 +68,13 @@ class DurableLSMEngine(LSMEngine):
         #: the manifest records, and the replay cutoff after a crash.
         self._durable_seqno = 0
         if self.config.use_wal:
-            self.wal = FileWriteAheadLog(
-                fs, disk=self.disk, sync_every=wal_sync_every
-            )
+            self.wal = self._make_wal()
+
+    def _make_wal(self) -> FileWriteAheadLog:
+        """Open the active write-ahead log (subclass hook: segmented WALs)."""
+        return FileWriteAheadLog(
+            self._fs, disk=self.disk, sync_every=self._wal_sync_every
+        )
 
     # ------------------------------------------------------------------
     # Recovery
@@ -132,11 +136,7 @@ class DurableLSMEngine(LSMEngine):
         self._seqno = state.last_seqno
         if not self.config.use_wal:
             return
-        survivors = [
-            record
-            for record in self.wal.replay()
-            if record.seqno > state.last_seqno
-        ]
+        survivors = self._wal_survivor_records()
         self._recovering = True
         try:
             for record in survivors:
@@ -150,6 +150,19 @@ class DurableLSMEngine(LSMEngine):
                 self._seqno = max(self._seqno, record.seqno)
         finally:
             self._recovering = False
+
+    def _wal_survivor_records(self):
+        """Durable WAL records newer than the manifest's replay cutoff.
+
+        Subclass hook: the pipelined durable engine replays every
+        remaining WAL segment (oldest first), not just the single active
+        log.
+        """
+        return [
+            record
+            for record in self.wal.replay()
+            if record.seqno > self._durable_seqno
+        ]
 
     # ------------------------------------------------------------------
     # Durable write path

@@ -115,6 +115,11 @@ def render_comparison_table(
     sharded = any(
         comparison.per_strategy[label].num_shards > 1 for label in labels
     )
+    # Ingest columns appear only when the concurrent write pipeline ran,
+    # so serial reports stay byte-identical.
+    pipelined = any(
+        comparison.per_strategy[label].write_pipeline for label in labels
+    )
     headers = [
         "strategy",
         "costactual mean",
@@ -127,6 +132,8 @@ def render_comparison_table(
         headers += ["merge wall s", "workers", "util%"]
     if sharded:
         headers += ["shards", "makespan s", "imbalance"]
+    if pipelined:
+        headers += ["ingest s", "stalls", "overlap%"]
     if served:
         headers += ["read amp", "bloom FP%", "read MB"]
     rows = []
@@ -151,6 +158,12 @@ def render_comparison_table(
                 agg.num_shards,
                 agg.cluster_makespan_mean,
                 agg.shard_imbalance_mean,
+            ]
+        if pipelined:
+            row += [
+                agg.ingest_wall_seconds_mean,
+                agg.write_stall_count_mean,
+                agg.flush_overlap_fraction_mean * 100.0,
             ]
         if served:
             row += [
@@ -246,6 +259,12 @@ def _cell_metrics(agg: AggregateResult) -> dict[str, Any]:
         "shard_ops_mean": list(agg.shard_ops_mean),
         "shard_costs_mean": list(agg.shard_costs_mean),
         "shard_read_amps_mean": list(agg.shard_read_amps_mean),
+        # Phase-1 ingest accounting (additive keys; serial defaults for
+        # runs without the concurrent write pipeline).
+        "write_pipeline": agg.write_pipeline,
+        "ingest_wall_seconds_mean": agg.ingest_wall_seconds_mean,
+        "write_stall_count_mean": agg.write_stall_count_mean,
+        "flush_overlap_fraction_mean": agg.flush_overlap_fraction_mean,
     }
 
 

@@ -93,6 +93,20 @@ class SimulationConfig:
     num_shards: int = 1
     shard_skew: float = 0.0
     partitioner: str = "hash"
+    # Concurrent write pipeline (see docs/concurrency.md, part 2).
+    # ``write_pipeline=True`` runs phase-1 ingest through the freeze/
+    # immutable-queue/background-flush pipeline: flush slabs build on
+    # ``flush_workers`` threads (0 = one per CPU) while ingest proceeds,
+    # bounded by ``max_immutable_memtables`` in-flight flushes
+    # (backpressure stalls are counted).  Tables are byte-identical to
+    # the serial path for any worker count; the default stays serial so
+    # every golden is unchanged.
+    write_pipeline: bool = False
+    max_immutable_memtables: int = 2
+    flush_workers: int = 0
+    # Group-commit knob of the file WAL used by ``storage="disk"`` runs:
+    # sync after every Nth framed append (1 = sync each record).
+    wal_sync_every: int = 1
 
     def __post_init__(self) -> None:
         # Normalize + validate the backend/estimator names eagerly so a
@@ -177,6 +191,22 @@ class SimulationConfig:
         if not self.shard_skew >= 0.0:
             raise ConfigError(
                 f"shard_skew must be >= 0, got {self.shard_skew!r}"
+            )
+        # Accept truthy ints from --set write_pipeline=1 and JSON specs.
+        object.__setattr__(self, "write_pipeline", bool(self.write_pipeline))
+        if self.max_immutable_memtables < 1:
+            raise ConfigError(
+                f"max_immutable_memtables must be at least 1, "
+                f"got {self.max_immutable_memtables}"
+            )
+        if self.flush_workers < 0:
+            raise ConfigError(
+                f"flush_workers must be >= 0 (0 = one per CPU), "
+                f"got {self.flush_workers}"
+            )
+        if self.wal_sync_every < 1:
+            raise ConfigError(
+                f"wal_sync_every must be at least 1, got {self.wal_sync_every}"
             )
 
     def workload_config(self) -> WorkloadConfig:
@@ -288,6 +318,13 @@ class SimulationConfig:
             parts.append(f"shards={self.num_shards}x{self.partitioner}")
             if self.shard_skew:
                 parts.append(f"shard_skew={self.shard_skew:g}")
+        if self.write_pipeline:
+            workers = self.flush_workers or "auto"
+            parts.append(
+                f"pipeline=imm{self.max_immutable_memtables}x{workers}"
+            )
+        if self.wal_sync_every != 1:
+            parts.append(f"wal_sync_every={self.wal_sync_every}")
         return " ".join(parts)
 
     @classmethod

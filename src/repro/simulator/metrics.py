@@ -52,6 +52,14 @@ class StrategyResult:
     shard_ops: tuple[int, ...] = ()
     shard_costs: tuple[int, ...] = ()
     shard_read_amps: tuple[float, ...] = ()
+    # Phase-1 ingest accounting (the concurrent write pipeline; all
+    # defaults for historical results).  ``ingest_wall_seconds`` is
+    # measured for serial ingest too so serial-vs-pipelined comparisons
+    # read straight off the report; stalls/overlap are pipeline-only.
+    write_pipeline: bool = False
+    ingest_wall_seconds: float = 0.0
+    write_stall_count: int = 0
+    flush_overlap_fraction: float = 0.0
 
     @property
     def bytes_total(self) -> int:
@@ -120,6 +128,13 @@ class AggregateResult:
     shard_ops_mean: tuple[float, ...] = ()
     shard_costs_mean: tuple[float, ...] = ()
     shard_read_amps_mean: tuple[float, ...] = ()
+    # Phase-1 ingest accounting: the pipeline flag is constant across
+    # runs of one config; wall/stalls/overlap average like other
+    # measured times.
+    write_pipeline: bool = False
+    ingest_wall_seconds_mean: float = 0.0
+    write_stall_count_mean: float = 0.0
+    flush_overlap_fraction_mean: float = 0.0
 
     @property
     def cost_over_lopt(self) -> float:
@@ -214,6 +229,16 @@ def aggregate(results: Sequence[StrategyResult]) -> AggregateResult:
         ),
         shard_read_amps_mean=_elementwise_mean(
             [result.shard_read_amps for result in results]
+        ),
+        write_pipeline=results[0].write_pipeline,
+        ingest_wall_seconds_mean=statistics.mean(
+            [result.ingest_wall_seconds for result in results]
+        ),
+        write_stall_count_mean=statistics.mean(
+            [result.write_stall_count for result in results]
+        ),
+        flush_overlap_fraction_mean=statistics.mean(
+            [result.flush_overlap_fraction for result in results]
         ),
     )
 

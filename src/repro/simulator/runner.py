@@ -94,12 +94,21 @@ def _comparison_cell(
     run_config = config.with_seed(config.seed + run_index)
     phase1 = generate_sstables(run_config)
     return {
-        label: run_strategy(
-            phase1.tables,
-            label,
-            run_config,
-            seed=run_config.seed,
-            read_ops=phase1.read_ops,
+        label: replace(
+            run_strategy(
+                phase1.tables,
+                label,
+                run_config,
+                seed=run_config.seed,
+                read_ops=phase1.read_ops,
+            ),
+            # Phase-1 ingest accounting rides on every strategy's result
+            # (the tables are shared within a run, so these are
+            # per-cell, not per-strategy).
+            write_pipeline=phase1.write_pipeline,
+            ingest_wall_seconds=phase1.ingest_wall_seconds,
+            write_stall_count=phase1.write_stall_count,
+            flush_overlap_fraction=phase1.flush_overlap_fraction,
         )
         for label in labels
     }

@@ -16,12 +16,14 @@ after the first injected crash, the reopen runs under a fresh fault
 plan, and only the third process generation must converge.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lsm import (
     CrashPoint,
     DurableLSMEngine,
+    DurablePipelinedLSMEngine,
     EngineConfig,
     FaultInjectedFileSystem,
     FaultPlan,
@@ -42,6 +44,26 @@ ops_strategy = st.lists(
 )
 
 CONFIG = EngineConfig(memtable_capacity=3)
+
+
+def _open_plain(fs):
+    return DurableLSMEngine.open(fs=fs, config=CONFIG)
+
+
+def _open_pipelined(fs):
+    # Queue bound 1 with capacity 3: the 3-8 op workloads exercise
+    # freeze, WAL segment rotation, inline (backpressure) flush sync,
+    # manifest commit and segment GC — every boundary the write
+    # pipeline added.
+    return DurablePipelinedLSMEngine.open(
+        fs=fs, config=CONFIG, max_immutable_memtables=1
+    )
+
+
+#: Both durable engines sweep the same fault points: the plain engine
+#: pins the original protocol, the pipelined one the freeze/rotation
+#: protocol on top of it.
+ENGINES = [_open_plain, _open_pipelined]
 
 
 def run_workload(engine, ops, completed):
@@ -85,9 +107,9 @@ def check_against_oracle(engine, completed, context):
             assert record is None, f"{context}: phantom key {key}"
 
 
-def count_fault_points(ops):
+def count_fault_points(ops, open_engine=_open_plain):
     fs = FaultInjectedFileSystem(MemoryFileSystem())
-    engine = DurableLSMEngine.open(fs=fs, config=CONFIG)
+    engine = open_engine(fs)
     run_workload(engine, ops, [])
     return fs.writes_done, fs.syncs_done
 
@@ -99,35 +121,39 @@ def all_plans(writes, syncs, torn_bytes):
         yield FaultPlan(crash_at_sync=n)
 
 
+@pytest.mark.parametrize("open_engine", ENGINES)
 @settings(max_examples=5, deadline=None)
 @given(ops=ops_strategy, torn_bytes=st.sampled_from([0, 1, 5]))
-def test_crash_at_every_fault_point_recovers_completed_ops(ops, torn_bytes):
-    writes, syncs = count_fault_points(ops)
+def test_crash_at_every_fault_point_recovers_completed_ops(
+    open_engine, ops, torn_bytes
+):
+    writes, syncs = count_fault_points(ops, open_engine)
     for plan in all_plans(writes, syncs, torn_bytes):
-        context = f"plan={plan}"
+        context = f"engine={open_engine.__name__} plan={plan}"
         fs = FaultInjectedFileSystem(MemoryFileSystem(), plan)
         completed = []
         try:
-            engine = DurableLSMEngine.open(fs=fs, config=CONFIG)
+            engine = open_engine(fs)
             run_workload(engine, ops, completed)
         except CrashPoint:
             pass
-        recovered = DurableLSMEngine.open(fs=fs.base, config=CONFIG)
+        recovered = open_engine(fs.base)
         check_against_oracle(recovered, completed, context)
 
 
+@pytest.mark.parametrize("open_engine", ENGINES)
 @settings(max_examples=5, deadline=None)
 @given(ops=ops_strategy)
-def test_double_crash_mid_recovery_still_converges(ops):
+def test_double_crash_mid_recovery_still_converges(open_engine, ops):
     """Crash the workload, then crash every point of the recovery run;
     the third generation must still satisfy the oracle."""
-    writes, syncs = count_fault_points(ops)
+    writes, syncs = count_fault_points(ops, open_engine)
     # Crash the workload at its last write (the deepest durable state).
     first_plan = FaultPlan(crash_at_write=writes)
     fs = FaultInjectedFileSystem(MemoryFileSystem(), first_plan)
     completed = []
     try:
-        engine = DurableLSMEngine.open(fs=fs, config=CONFIG)
+        engine = open_engine(fs)
         run_workload(engine, ops, completed)
     except CrashPoint:
         pass
@@ -136,14 +162,14 @@ def test_double_crash_mid_recovery_still_converges(ops):
     # Recovery itself performs a handful of writes/syncs (tmp-manifest
     # sweeps, torn-tail repair, mid-replay flushes); crash each of them.
     probe = FaultInjectedFileSystem(_restore(snapshot))
-    DurableLSMEngine.open(fs=probe, config=CONFIG)
+    open_engine(probe)
     for plan in all_plans(probe.writes_done, probe.syncs_done, torn_bytes=1):
         crashed_fs = FaultInjectedFileSystem(_restore(snapshot), plan)
         try:
-            DurableLSMEngine.open(fs=crashed_fs, config=CONFIG)
+            open_engine(crashed_fs)
         except CrashPoint:
             pass
-        final = DurableLSMEngine.open(fs=crashed_fs.base, config=CONFIG)
+        final = open_engine(crashed_fs.base)
         check_against_oracle(final, completed, f"recovery crash {plan}")
 
 

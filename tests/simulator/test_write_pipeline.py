@@ -1,0 +1,211 @@
+"""Write-pipeline plumbing: config, phase 1 equivalence, CLI, manifests.
+
+The engine-level differential tests live in tests/lsm/test_pipeline.py;
+this file pins the simulator threading — ``write_pipeline`` produces
+byte-identical tables through both data planes, the config validates
+its knobs, the CLI flags reach the config, and the ingest metrics land
+in report columns and manifest cells.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.cli import main
+from repro.scenarios import ResultsStore
+from repro.simulator.config import SimulationConfig
+from repro.simulator.metrics import StrategyResult, aggregate
+from repro.simulator.phase1 import (
+    generate_sstables_fast,
+    generate_sstables_reference,
+)
+
+TINY = dict(recordcount=120, operationcount=1500, memtable_capacity=100, seed=3)
+
+
+def _result(**kwargs):
+    base = dict(
+        strategy="SI", n_tables=4, n_merges=1, cost_actual=10,
+        cost_simplified=10, lopt_entries=10, bytes_read=0, bytes_written=0,
+        io_seconds=0.0, simulated_seconds=0.0,
+        strategy_overhead_seconds=0.0, wall_seconds=0.0,
+    )
+    base.update(kwargs)
+    return StrategyResult(**base)
+
+
+class TestConfigValidation:
+    def test_defaults_off(self):
+        config = SimulationConfig(**TINY)
+        assert config.write_pipeline is False
+        assert config.max_immutable_memtables == 2
+        assert config.flush_workers == 0
+        assert config.wal_sync_every == 1
+
+    def test_bad_max_immutable_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(**TINY, max_immutable_memtables=0)
+
+    def test_bad_flush_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(**TINY, flush_workers=-1)
+
+    def test_bad_wal_sync_every_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(**TINY, wal_sync_every=0)
+
+    def test_describe_shows_pipeline_and_sync(self):
+        config = SimulationConfig(
+            **TINY, write_pipeline=True, max_immutable_memtables=3,
+            flush_workers=2, wal_sync_every=8,
+        )
+        described = config.describe()
+        assert "pipeline=imm3x2" in described
+        assert "wal_sync_every=8" in described
+        serial = SimulationConfig(**TINY)
+        assert "pipeline" not in serial.describe()
+        assert "wal_sync_every" not in serial.describe()
+
+
+class TestPhase1Equivalence:
+    @pytest.mark.parametrize("mode", ["append", "map"])
+    @pytest.mark.parametrize(
+        "plane", [generate_sstables_fast, generate_sstables_reference]
+    )
+    def test_pipelined_tables_byte_identical(self, mode, plane):
+        config = SimulationConfig(**TINY, memtable_mode=mode)
+        serial = plane(config)
+        piped = plane(
+            replace(
+                config,
+                write_pipeline=True,
+                flush_workers=3,
+                max_immutable_memtables=2,
+            )
+        )
+        assert [t.table_id for t in serial.tables] == [
+            t.table_id for t in piped.tables
+        ]
+        for a, b in zip(serial.tables, piped.tables):
+            assert a.records == b.records
+        assert piped.write_pipeline is True
+        assert serial.write_pipeline is False
+
+    def test_ingest_metrics_populated(self):
+        config = SimulationConfig(
+            **TINY, write_pipeline=True, flush_workers=2,
+            max_immutable_memtables=1,
+        )
+        result = generate_sstables_fast(config)
+        assert result.ingest_wall_seconds > 0.0
+        assert 0.0 <= result.flush_overlap_fraction <= 1.0
+        serial = generate_sstables_fast(SimulationConfig(**TINY))
+        assert serial.ingest_wall_seconds > 0.0  # measured for serial too
+        assert serial.write_stall_count == 0
+        assert serial.flush_overlap_fraction == 0.0
+
+
+class TestAggregation:
+    def test_aggregate_carries_ingest_fields(self):
+        agg = aggregate(
+            [
+                _result(
+                    write_pipeline=True, ingest_wall_seconds=1.0,
+                    write_stall_count=4, flush_overlap_fraction=0.5,
+                ),
+                _result(
+                    write_pipeline=True, ingest_wall_seconds=3.0,
+                    write_stall_count=6, flush_overlap_fraction=0.7,
+                ),
+            ]
+        )
+        assert agg.write_pipeline is True
+        assert agg.ingest_wall_seconds_mean == 2.0
+        assert agg.write_stall_count_mean == 5.0
+        assert agg.flush_overlap_fraction_mean == pytest.approx(0.6)
+
+
+TINY_SETS = [
+    "--set", "recordcount=120",
+    "--set", "operationcount=1500",
+    "--set", "memtable_capacity=100",
+]
+
+
+class TestCli:
+    def test_flags_reach_config_and_manifest(self, capsys, tmp_path):
+        store = tmp_path / "runs"
+        code = main(
+            [
+                "run", "churn", "--runs", "1", "--store", str(store),
+                "--write-pipeline", "--flush-workers", "2",
+                "--max-immutable-memtables", "3",
+            ]
+            + TINY_SETS
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Report columns appear only for pipelined runs.
+        assert "ingest s" in out and "stalls" in out and "overlap%" in out
+        manifest = next(iter(ResultsStore(store).manifests("churn")))
+        assert manifest.config["write_pipeline"] is True
+        assert manifest.config["max_immutable_memtables"] == 3
+        assert manifest.config["flush_workers"] == 2
+        cells = _manifest_cells(manifest)
+        assert cells, "manifest has no strategy cells"
+        for cell in cells:
+            assert cell["write_pipeline"] is True
+            assert cell["ingest_wall_seconds_mean"] > 0.0
+            assert "write_stall_count_mean" in cell
+            assert "flush_overlap_fraction_mean" in cell
+
+    def test_serial_report_has_no_pipeline_columns(self, capsys):
+        code = main(["run", "churn", "--runs", "1", "--no-store"] + TINY_SETS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingest s" not in out
+        assert "overlap%" not in out
+
+    def test_wal_sync_every_reaches_config(self, capsys, tmp_path):
+        store = tmp_path / "runs"
+        code = main(
+            [
+                "run", "churn", "--runs", "1", "--store", str(store),
+                "--storage", "disk", "--wal-sync-every", "16",
+            ]
+            + TINY_SETS
+        )
+        assert code == 0
+        manifest = next(iter(ResultsStore(store).manifests("churn")))
+        assert manifest.config["wal_sync_every"] == 16
+        assert manifest.config["storage"] == "disk"
+
+    def test_verbose_mentions_pipeline(self, capsys):
+        code = main(
+            [
+                "run", "churn", "--runs", "1", "--no-store", "--verbose",
+                "--write-pipeline", "--flush-workers", "2",
+            ]
+            + TINY_SETS
+        )
+        assert code == 0
+        assert "write pipeline: imm2 x2" in capsys.readouterr().out
+
+
+def _manifest_cells(manifest):
+    """Every per-strategy metrics dict in a manifest document."""
+    found = []
+
+    def walk(node):
+        if isinstance(node, dict):
+            if "cost_actual_mean" in node:
+                found.append(node)
+            for value in node.values():
+                walk(value)
+        elif isinstance(node, list):
+            for value in node:
+                walk(value)
+
+    walk(manifest.document if hasattr(manifest, "document") else manifest.__dict__)
+    return found
